@@ -1,0 +1,93 @@
+"""Shared fixtures for the benchmark/reproduction suite.
+
+The month-long experiment is by far the most expensive piece, and several
+figures (6, 12, 13, 14 and the headline rates) are different views of the
+same run, so it is computed once per session and shared.  Volumes are scaled
+down from the paper's 80k-500k samples/day to keep the suite runnable on a
+laptop; the DESIGN.md substitution table and EXPERIMENTS.md record the
+scaling.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.core.config import KizzleConfig
+from repro.ekgen import StreamConfig, TelemetryGenerator
+from repro.evalharness import ExperimentConfig, MonthExperiment
+
+AUGUST_START = datetime.date(2014, 8, 1)
+AUGUST_END = datetime.date(2014, 8, 31)
+
+
+@pytest.fixture(scope="session")
+def month_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        start=AUGUST_START,
+        end=AUGUST_END,
+        seed_days=3,
+        stream=StreamConfig(
+            benign_per_day=30,
+            kit_daily_counts={"angler": 14, "sweetorange": 6, "nuclear": 5,
+                              "rig": 3},
+            seed=20140801,
+        ),
+        kizzle=KizzleConfig(machines=10, min_points=3),
+    )
+
+
+@pytest.fixture(scope="session")
+def month_report(month_config):
+    """The full August 2014 run shared by the accuracy figures.
+
+    A plain-text summary of the run is also written next to the benchmarks
+    (``benchmarks/results_month_summary.txt``) so the measured numbers are
+    available even when pytest captures the per-test output; EXPERIMENTS.md
+    points at that file.
+    """
+    experiment = MonthExperiment(month_config)
+    report = experiment.run()
+    _dump_summary(report)
+    return report
+
+
+def _dump_summary(report) -> None:
+    import pathlib
+
+    from repro.evalharness import format_absolute_counts, format_day_series
+
+    lines = []
+    rates = report.overall_rates()
+    lines.append("Month experiment summary (synthetic stream, August 2014)")
+    lines.append("")
+    lines.append(f"Kizzle FP rate: {rates['kizzle_fp_rate']:.4%}   "
+                 f"Kizzle FN rate: {rates['kizzle_fn_rate']:.4%}")
+    lines.append(f"AV     FP rate: {rates['av_fp_rate']:.4%}   "
+                 f"AV     FN rate: {rates['av_fn_rate']:.4%}")
+    counts = report.cluster_count_range()
+    lines.append(f"Clusters per day: {counts['min']}-{counts['max']}")
+    lines.append("")
+    lines.append(format_absolute_counts(report.ground_truth.kit_totals(),
+                                        report.av_counts(),
+                                        report.kizzle_counts()))
+    lines.append("")
+    fn = report.fn_series()
+    lines.append(format_day_series(
+        fn["dates"], {"AV FN": fn["av"], "Kizzle FN": fn["kizzle"]},
+        title="False negatives per day (Figure 13b)"))
+    angler = report.fn_series("angler")
+    lines.append("")
+    lines.append(format_day_series(
+        angler["dates"], {"AV FN": angler["av"],
+                          "Kizzle FN": angler["kizzle"]},
+        title="Angler false negatives per day (Figure 6)"))
+    path = pathlib.Path(__file__).parent / "results_month_summary.txt"
+    path.write_text("\n".join(lines), encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def generator() -> TelemetryGenerator:
+    """A default-scale telemetry generator for the non-accuracy figures."""
+    return TelemetryGenerator(StreamConfig(seed=20140801))

@@ -1,0 +1,51 @@
+"""Figure 14: absolute false-positive / false-negative counts per kit.
+
+The paper's table (at telemetry scale): ground truth 58,856 malicious samples
+dominated by Angler, AV FN 7,587 vs Kizzle FN 349, AV FP 647 vs Kizzle FP
+266, with RIG the hardest kit for Kizzle relative to its tiny volume.  Our
+synthetic stream is roughly three orders of magnitude smaller; the shape to
+preserve is the prevalence ordering and Kizzle's FN advantage.
+"""
+
+from __future__ import annotations
+
+from repro.evalharness import format_absolute_counts
+
+KIT_ORDER = ["nuclear", "sweetorange", "angler", "rig"]
+
+
+def test_fig14_absolute_counts(benchmark, month_report):
+    def build():
+        return (month_report.ground_truth.kit_totals(),
+                month_report.av_counts(), month_report.kizzle_counts())
+
+    ground_truth, av_counts, kizzle_counts = benchmark(build)
+    print()
+    print(format_absolute_counts(ground_truth, av_counts, kizzle_counts,
+                                 kits=KIT_ORDER))
+
+    # Prevalence ordering matches the paper: Angler >> Sweet Orange >
+    # Nuclear > RIG.
+    assert ground_truth["angler"] > ground_truth["sweetorange"] \
+        > ground_truth["nuclear"] > ground_truth["rig"]
+
+    av_fn_total = sum(av_counts.false_negatives.values())
+    kizzle_fn_total = sum(kizzle_counts.false_negatives.values())
+    av_fp_total = sum(av_counts.false_positives.values())
+    kizzle_fp_total = sum(kizzle_counts.false_positives.values())
+    malicious_total = sum(ground_truth.values())
+
+    # Kizzle misses far fewer malicious samples than the AV (paper: 349 vs
+    # 7,587), and its FP count is no worse than the same order of magnitude.
+    assert kizzle_fn_total < av_fn_total
+    assert kizzle_fn_total <= 0.12 * malicious_total
+    assert kizzle_fp_total <= max(10, 2 * av_fp_total)
+
+    # The AV's biggest miss is Angler (the window of vulnerability); for
+    # Kizzle the hardest kit relative to volume is RIG.
+    assert max(av_counts.false_negatives,
+               key=av_counts.false_negatives.get) == "angler"
+    kizzle_relative_fn = {
+        kit: kizzle_counts.false_negatives.get(kit, 0) / ground_truth[kit]
+        for kit in KIT_ORDER}
+    assert max(kizzle_relative_fn, key=kizzle_relative_fn.get) == "rig"

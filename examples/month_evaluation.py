@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Run a scaled-down version of the paper's month-long evaluation.
+
+Drives the full evaluation harness (Section IV) over a configurable window:
+Kizzle and the simulated commercial AV both scan every day's samples, and the
+script prints the per-day false-negative comparison, the Figure 14-style
+absolute counts, and the headline rates.
+
+Run with::
+
+    python examples/month_evaluation.py            # default: first 2 weeks
+    python examples/month_evaluation.py --days 31  # the full month (slower)
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+
+from repro.core.config import KizzleConfig
+from repro.ekgen import StreamConfig
+from repro.evalharness import (
+    ExperimentConfig,
+    MonthExperiment,
+    format_absolute_counts,
+    format_day_series,
+)
+from repro.evalharness.reporting import sparkline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=14,
+                        help="number of days of August 2014 to simulate")
+    parser.add_argument("--benign", type=int, default=40,
+                        help="benign samples per day")
+    args = parser.parse_args()
+
+    start = datetime.date(2014, 8, 1)
+    end = start + datetime.timedelta(days=max(1, args.days) - 1)
+    config = ExperimentConfig(
+        start=start, end=end, seed_days=3,
+        stream=StreamConfig(
+            benign_per_day=args.benign,
+            kit_daily_counts={"angler": 18, "sweetorange": 7, "nuclear": 5,
+                              "rig": 3}),
+        kizzle=KizzleConfig(machines=10, min_points=3),
+    )
+    experiment = MonthExperiment(config)
+
+    def progress(record):
+        print(f"  {record.date}: {record.sample_count} samples, "
+              f"{record.cluster_count} clusters, "
+              f"{record.new_signatures} new signatures, "
+              f"Kizzle FN {record.kizzle.confusion.false_negative_rate:.1%} "
+              f"vs AV FN {record.av.confusion.false_negative_rate:.1%}")
+
+    print(f"Running the evaluation from {start} to {end}...")
+    report = experiment.run(progress=progress)
+
+    print()
+    fn = report.fn_series()
+    print(format_day_series(fn["dates"],
+                            {"Kizzle FN": fn["kizzle"], "AV FN": fn["av"]},
+                            title="False negatives over time (Figure 13b)"))
+    print()
+    print("Kizzle FN trend:", sparkline(fn["kizzle"]))
+    print("AV FN trend:    ", sparkline(fn["av"]))
+    print()
+    print(format_absolute_counts(report.ground_truth.kit_totals(),
+                                 report.av_counts(), report.kizzle_counts()))
+    print()
+    rates = report.overall_rates()
+    print("Headline rates (paper: Kizzle FP < 0.03%, FN < 5%):")
+    print(f"  Kizzle FP {rates['kizzle_fp_rate']:.3%}   "
+          f"Kizzle FN {rates['kizzle_fn_rate']:.3%}")
+    print(f"  AV     FP {rates['av_fp_rate']:.3%}   "
+          f"AV     FN {rates['av_fn_rate']:.3%}")
+
+
+if __name__ == "__main__":
+    main()

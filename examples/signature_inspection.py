@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Inspect Kizzle-generated signatures for each exploit kit.
+
+Mirrors the paper's Figures 9 and 10: for every kit we build a small cluster
+of packed samples, run the signature compiler, and print the resulting regex
+together with what it keyed on.  The script then demonstrates the adversarial
+cycle at the signature level: after the kit rotates its packer the old
+signature stops matching, and recompiling from the new cluster restores
+detection.
+
+Run with::
+
+    python examples/signature_inspection.py
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+import textwrap
+
+from repro.ekgen import TelemetryGenerator
+from repro.scanner.normalizer import normalize_for_scan
+from repro.signatures import SignatureCompiler, SignatureConfig
+
+KITS = ("nuclear", "sweetorange", "angler", "rig")
+DAY = datetime.date(2014, 8, 5)
+LATER = datetime.date(2014, 8, 27)  # after several packer rotations
+
+
+def build_cluster(generator: TelemetryGenerator, kit: str,
+                  day: datetime.date, count: int = 8) -> list:
+    return [generator.kits[kit].generate(day, random.Random(seed)).content
+            for seed in range(count)]
+
+
+def main() -> None:
+    generator = TelemetryGenerator()
+    compiler = SignatureCompiler(SignatureConfig())
+
+    signatures = {}
+    for kit in KITS:
+        cluster = build_cluster(generator, kit, DAY)
+        signature = compiler.compile_cluster(cluster, kit, DAY)
+        signatures[kit] = signature
+        print(f"=== {kit} ===")
+        print(f"window: {signature.token_length} tokens, "
+              f"signature: {signature.length} characters")
+        print(textwrap.fill(signature.pattern[:400], width=76,
+                            subsequent_indent="    "))
+        if signature.length > 400:
+            print("    ... (truncated)")
+        matched = sum(1 for content in cluster
+                      if signature.matches(normalize_for_scan(content)))
+        print(f"matches {matched}/{len(cluster)} cluster samples")
+        print()
+
+    print("=== adversarial cycle ===")
+    for kit in ("nuclear", "rig"):
+        old_signature = signatures[kit]
+        later_sample = generator.kits[kit].generate(LATER, random.Random(77))
+        still_matches = old_signature.matches(
+            normalize_for_scan(later_sample.content))
+        print(f"{kit}: signature from {DAY} matches a {LATER} sample: "
+              f"{still_matches}")
+        new_cluster = build_cluster(generator, kit, LATER)
+        new_signature = compiler.compile_cluster(new_cluster, kit, LATER)
+        recovers = new_signature.matches(
+            normalize_for_scan(later_sample.content))
+        print(f"{kit}: recompiled signature from {LATER} matches: {recovers}")
+    print()
+    print("The outer packer rotation defeats yesterday's signature; because")
+    print("Kizzle compiles signatures automatically from the day's cluster,")
+    print("the response costs minutes instead of an analyst's day (Figure 1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,193 @@
+"""Command-line interface for the Kizzle reproduction.
+
+Three subcommands cover the day-to-day uses of the library without writing
+any Python:
+
+``process-day``
+    Run the full pipeline (cluster → label → compile signatures) over one
+    synthetic day and print the cluster/signature summary.
+
+``scan``
+    Compile signatures from a reference day, then scan another day's samples
+    with them and with the simulated commercial AV, printing the comparison.
+
+``evaluate``
+    Run the month-long evaluation for a configurable number of days and print
+    the Figure 13/14-style summaries.
+
+The CLI is intentionally a thin veneer over the public API so that every code
+path it exercises is already covered by the library's own tests; its own
+tests only check argument handling and output plumbing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.config import KizzleConfig
+from repro.core.pipeline import Kizzle
+from repro.ekgen.telemetry import StreamConfig, TelemetryGenerator
+from repro.evalharness import ExperimentConfig, MonthExperiment, \
+    format_absolute_counts, format_day_series
+
+DEFAULT_KITS = ("nuclear", "angler", "rig", "sweetorange")
+
+
+def _parse_date(text: str) -> datetime.date:
+    try:
+        return datetime.date.fromisoformat(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"not an ISO date (YYYY-MM-DD): {text!r}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="kizzle-repro",
+        description="Kizzle signature compiler reproduction (DSN 2016)")
+    parser.add_argument("--benign", type=int, default=30,
+                        help="benign samples per synthetic day")
+    parser.add_argument("--angler", type=int, default=14,
+                        help="Angler samples per day")
+    parser.add_argument("--nuclear", type=int, default=5,
+                        help="Nuclear samples per day")
+    parser.add_argument("--sweetorange", type=int, default=6,
+                        help="Sweet Orange samples per day")
+    parser.add_argument("--rig", type=int, default=3,
+                        help="RIG samples per day")
+    parser.add_argument("--seed", type=int, default=20140801,
+                        help="stream seed")
+    parser.add_argument("--machines", type=int, default=10,
+                        help="simulated machine count")
+
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    process = commands.add_parser(
+        "process-day", help="run the pipeline over one synthetic day")
+    process.add_argument("--date", type=_parse_date,
+                         default=datetime.date(2014, 8, 5))
+
+    scan = commands.add_parser(
+        "scan", help="compile signatures on one day, scan another")
+    scan.add_argument("--train-date", type=_parse_date,
+                      default=datetime.date(2014, 8, 5))
+    scan.add_argument("--scan-date", type=_parse_date,
+                      default=datetime.date(2014, 8, 6))
+
+    evaluate = commands.add_parser(
+        "evaluate", help="run the month-long Kizzle-vs-AV evaluation")
+    evaluate.add_argument("--days", type=int, default=7,
+                          help="number of August 2014 days to simulate")
+    return parser
+
+
+def _stream_config(args: argparse.Namespace) -> StreamConfig:
+    return StreamConfig(
+        benign_per_day=args.benign,
+        kit_daily_counts={"angler": args.angler, "nuclear": args.nuclear,
+                          "sweetorange": args.sweetorange, "rig": args.rig},
+        seed=args.seed)
+
+
+def _seeded_kizzle(generator: TelemetryGenerator,
+                   args: argparse.Namespace,
+                   seed_date: datetime.date) -> Kizzle:
+    kizzle = Kizzle(KizzleConfig(machines=args.machines))
+    for kit in DEFAULT_KITS:
+        kizzle.seed_known_kit(kit, [generator.reference_core(kit, seed_date)])
+    return kizzle
+
+
+def command_process_day(args: argparse.Namespace, out) -> int:
+    generator = TelemetryGenerator(_stream_config(args))
+    kizzle = _seeded_kizzle(generator, args,
+                            args.date - datetime.timedelta(days=7))
+    batch = generator.generate_day(args.date)
+    result = kizzle.process_day(
+        [(sample.sample_id, sample.content) for sample in batch.samples],
+        args.date)
+    print(f"{args.date}: {result.sample_count} samples, "
+          f"{result.cluster_count} clusters "
+          f"({len(result.malicious_clusters)} malicious), "
+          f"{result.noise_count} noise, "
+          f"{len(result.new_signatures)} new signatures", file=out)
+    for report in result.clusters:
+        verdict = report.kit or "benign"
+        print(f"  cluster size={report.size:3d} -> {verdict} "
+              f"(overlap {report.label.overlap:.2f})", file=out)
+    for signature in result.new_signatures:
+        print(f"  signature [{signature.kit}] {signature.length} chars",
+              file=out)
+    return 0
+
+
+def command_scan(args: argparse.Namespace, out) -> int:
+    generator = TelemetryGenerator(_stream_config(args))
+    kizzle = _seeded_kizzle(generator, args,
+                            args.train_date - datetime.timedelta(days=7))
+    train_batch = generator.generate_day(args.train_date)
+    kizzle.process_day([(s.sample_id, s.content) for s in train_batch.samples],
+                       args.train_date)
+
+    from repro.scanner.avbaseline import SimulatedCommercialAV
+
+    av = SimulatedCommercialAV(timeline=generator.timeline)
+    scan_batch = generator.generate_day(args.scan_date)
+    rows = []
+    for kit, samples in sorted(scan_batch.by_kit().items()):
+        kizzle_hits = sum(1 for s in samples if kizzle.detects(s.content))
+        av_hits = sum(1 for s in samples
+                      if av.scan(s.sample_id, s.content,
+                                 as_of=args.scan_date).detected)
+        rows.append((kit, len(samples), kizzle_hits, av_hits))
+    print(f"scanning {args.scan_date} with signatures compiled on "
+          f"{args.train_date}:", file=out)
+    for kit, total, kizzle_hits, av_hits in rows:
+        print(f"  {kit:12s} {kizzle_hits:3d}/{total:<3d} (Kizzle)   "
+              f"{av_hits:3d}/{total:<3d} (AV)", file=out)
+    benign_fp = sum(1 for s in scan_batch.benign if kizzle.detects(s.content))
+    print(f"  benign false positives (Kizzle): {benign_fp}", file=out)
+    return 0
+
+
+def command_evaluate(args: argparse.Namespace, out) -> int:
+    start = datetime.date(2014, 8, 1)
+    end = start + datetime.timedelta(days=max(1, args.days) - 1)
+    config = ExperimentConfig(start=start, end=end, seed_days=3,
+                              stream=_stream_config(args),
+                              kizzle=KizzleConfig(machines=args.machines))
+    report = MonthExperiment(config).run()
+    fn = report.fn_series()
+    print(format_day_series(fn["dates"], {"Kizzle FN": fn["kizzle"],
+                                          "AV FN": fn["av"]},
+                            title="False negatives per day"), file=out)
+    print("", file=out)
+    print(format_absolute_counts(report.ground_truth.kit_totals(),
+                                 report.av_counts(), report.kizzle_counts()),
+          file=out)
+    rates = report.overall_rates()
+    print(f"\nKizzle FP {rates['kizzle_fp_rate']:.3%} / "
+          f"FN {rates['kizzle_fn_rate']:.3%}; "
+          f"AV FP {rates['av_fp_rate']:.3%} / FN {rates['av_fn_rate']:.3%}",
+          file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "process-day":
+        return command_process_day(args, out)
+    if args.command == "scan":
+        return command_scan(args, out)
+    if args.command == "evaluate":
+        return command_evaluate(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Clustering of abstract token strings.
+
+Kizzle applies DBSCAN with normalized token edit distance and an epsilon of
+0.10, runs it per partition on a cluster of machines, and reconciles the
+per-partition clusters in a reduce step (paper, Section III-A).
+"""
+
+from repro.clustering.dbscan import DBSCAN, DBSCANResult, NOISE
+from repro.clustering.partition import (
+    ClusteredSample,
+    Cluster,
+    partition_samples,
+    cluster_partition,
+    DistributedClusterer,
+)
+from repro.clustering.merge import merge_clusters
+from repro.clustering.prototypes import select_prototype, medoid_index
+
+__all__ = [
+    "DBSCAN",
+    "DBSCANResult",
+    "NOISE",
+    "ClusteredSample",
+    "Cluster",
+    "partition_samples",
+    "cluster_partition",
+    "DistributedClusterer",
+    "merge_clusters",
+    "select_prototype",
+    "medoid_index",
+]

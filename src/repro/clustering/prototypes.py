@@ -1,0 +1,76 @@
+"""Prototype (representative sample) selection for clusters.
+
+Kizzle unpacks and labels a *single prototype sample* per cluster (paper,
+Section III-A), so the prototype should be the sample most representative of
+the cluster.  We use the medoid: the member minimizing the sum of distances
+to all other members.  For large clusters an exact medoid is quadratic, so a
+seeded subsample is used beyond a size threshold — prototypes only need to be
+"typical", not optimal.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.distance.levenshtein import normalized_edit_distance
+
+#: Above this cluster size the medoid is computed over a random subsample.
+_EXACT_MEDOID_LIMIT = 40
+
+
+def medoid_index(token_strings: Sequence[Tuple[str, ...]],
+                 candidates: Optional[Sequence[int]] = None) -> int:
+    """Index of the medoid of the given token strings.
+
+    ``candidates`` restricts both the candidate prototypes and the reference
+    set (used for the subsampled approximation).
+    """
+    if not token_strings:
+        raise ValueError("cannot compute a medoid of an empty cluster")
+    indices = list(candidates) if candidates is not None \
+        else list(range(len(token_strings)))
+    if len(indices) == 1:
+        return indices[0]
+    best_index = indices[0]
+    best_total = float("inf")
+    for i in indices:
+        total = 0.0
+        for j in indices:
+            if i == j:
+                continue
+            total += normalized_edit_distance(token_strings[i],
+                                              token_strings[j])
+            if total >= best_total:
+                break
+        if total < best_total:
+            best_total = total
+            best_index = i
+    return best_index
+
+
+def select_prototype(token_strings: Sequence[Tuple[str, ...]],
+                     seed: int = 0) -> int:
+    """Pick the prototype index for a cluster.
+
+    Exact medoid for small clusters; medoid over a seeded subsample for
+    large ones.  Duplicate-heavy clusters (the common case in grayware) are
+    handled by always including the most frequent token string among the
+    candidates.
+    """
+    if not token_strings:
+        raise ValueError("cannot select a prototype from an empty cluster")
+    if len(token_strings) <= _EXACT_MEDOID_LIMIT:
+        return medoid_index(token_strings)
+
+    rng = random.Random(seed)
+    candidates = rng.sample(range(len(token_strings)),
+                            _EXACT_MEDOID_LIMIT)
+    # Make sure the modal token string is represented.
+    counts: dict = {}
+    for index, tokens in enumerate(token_strings):
+        counts.setdefault(tokens, []).append(index)
+    modal_indices: List[int] = max(counts.values(), key=len)
+    if not any(index in candidates for index in modal_indices):
+        candidates[0] = modal_indices[0]
+    return medoid_index(token_strings, candidates=candidates)

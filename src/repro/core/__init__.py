@@ -1,0 +1,15 @@
+"""Kizzle's core: configuration, the daily processing pipeline, and result
+records.  This package is the paper's primary contribution; everything else
+under :mod:`repro` is a substrate it builds on.
+"""
+
+from repro.core.config import KizzleConfig
+from repro.core.results import ClusterReport, DailyResult
+from repro.core.pipeline import Kizzle
+
+__all__ = [
+    "KizzleConfig",
+    "ClusterReport",
+    "DailyResult",
+    "Kizzle",
+]

@@ -1,0 +1,61 @@
+"""Kizzle configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.labeling.corpus import DEFAULT_THRESHOLDS
+from repro.signatures.compiler import SignatureConfig
+from repro.winnowing.fingerprint import DEFAULT_K, DEFAULT_WINDOW
+
+
+@dataclass
+class KizzleConfig:
+    """All tuning knobs of the pipeline in one place (paper, Section V
+    "Tuning the ML" discusses exactly these).
+
+    Attributes
+    ----------
+    epsilon:
+        DBSCAN normalized edit-distance threshold (paper: 0.10).
+    min_points:
+        Minimum cluster density; clusters smaller than this are noise, which
+        is also the mechanism behind the paper's residual false negatives
+        ("changes ... not numerous enough ... to warrant a separate cluster").
+    machines:
+        Simulated machine count for the clustering stage (paper: 50).
+    partitions:
+        Number of partitions for the map phase; defaults to ``machines``.
+    winnow_k / winnow_window:
+        Winnowing fingerprint parameters for labeling.
+    label_thresholds:
+        Per-family winnow overlap thresholds.
+    signature:
+        Signature generation settings (window cap, minimum length).
+    reuse_existing_signatures:
+        When true, a new signature is only generated for a malicious cluster
+        if no already-deployed signature for the same kit matches the
+        cluster's samples — this is what makes the Figure 12 "steps" appear
+        only when the kit actually changes.
+    """
+
+    epsilon: float = 0.10
+    min_points: int = 3
+    machines: int = 50
+    partitions: Optional[int] = None
+    winnow_k: int = DEFAULT_K
+    winnow_window: int = DEFAULT_WINDOW
+    label_thresholds: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_THRESHOLDS))
+    signature: SignatureConfig = field(default_factory=SignatureConfig)
+    reuse_existing_signatures: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon <= 1.0:
+            raise ValueError("epsilon must be in (0, 1]")
+        if self.min_points < 1:
+            raise ValueError("min_points must be at least 1")
+        if self.machines < 1:
+            raise ValueError("machines must be at least 1")

@@ -1,0 +1,142 @@
+"""The Kizzle main driver (paper, Section III).
+
+The daily loop: break the day's samples into clusters (distributed DBSCAN
+over abstract token strings), label every cluster benign or as a known kit by
+unpacking its prototype and winnowing it against the seeded corpus, and for
+malicious clusters whose samples are not already covered by a deployed
+signature, compile a new structural signature from the packed samples.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.clustering.partition import Cluster, ClusteredSample, \
+    DistributedClusterer
+from repro.core.config import KizzleConfig
+from repro.core.results import ClusterReport, DailyResult
+from repro.distsim.mapreduce import SimCluster
+from repro.labeling.corpus import KnownKitCorpus
+from repro.labeling.labeler import ClusterLabeler
+from repro.scanner.engine import ScanEngine, SignatureDatabase
+from repro.scanner.normalizer import normalize_for_scan
+from repro.signatures.compiler import SignatureCompiler
+from repro.signatures.signature import Signature
+from repro.unpack.registry import UnpackerRegistry, default_registry
+
+
+class Kizzle:
+    """The signature compiler.
+
+    Parameters
+    ----------
+    config:
+        Pipeline settings; defaults to the paper's parameters.
+    corpus:
+        The seeded corpus of known unpacked kit samples.  An empty corpus is
+        allowed (every cluster will be labeled benign) but pointless; use
+        :meth:`seed_known_kit` to populate it.
+    registry:
+        Unpacker registry; defaults to the four per-kit unpackers.
+    """
+
+    def __init__(self, config: Optional[KizzleConfig] = None,
+                 corpus: Optional[KnownKitCorpus] = None,
+                 registry: Optional[UnpackerRegistry] = None) -> None:
+        self.config = config or KizzleConfig()
+        self.corpus = corpus or KnownKitCorpus(
+            k=self.config.winnow_k, window=self.config.winnow_window,
+            thresholds=dict(self.config.label_thresholds))
+        self.registry = registry or default_registry()
+        self.labeler = ClusterLabeler(self.corpus, self.registry)
+        self.compiler = SignatureCompiler(self.config.signature)
+        self.database = SignatureDatabase()
+        self.clusterer = DistributedClusterer(
+            epsilon=self.config.epsilon,
+            min_points=self.config.min_points,
+            sim_cluster=SimCluster(machine_count=self.config.machines),
+            seed=self.config.seed)
+
+    # ------------------------------------------------------------------
+    # seeding
+    # ------------------------------------------------------------------
+    def seed_known_kit(self, kit: str, unpacked_samples: Iterable[str]) -> None:
+        """Seed the corpus with known unpacked samples of a kit."""
+        self.corpus.add_many(kit, unpacked_samples)
+
+    # ------------------------------------------------------------------
+    # the daily loop
+    # ------------------------------------------------------------------
+    def process_day(self, samples: Sequence[Tuple[str, str]],
+                    date: datetime.date) -> DailyResult:
+        """Process one day of samples.
+
+        ``samples`` is a sequence of ``(sample_id, content)`` pairs.  The
+        returned :class:`DailyResult` lists the clusters, their labels and
+        any newly generated signatures; new signatures are also added to the
+        deployed :attr:`database` with ``created=date``.
+        """
+        prepared = [ClusteredSample.from_content(sample_id, content)
+                    for sample_id, content in samples]
+        clusters, timing = self.clusterer.run(
+            prepared, partitions=self.config.partitions)
+
+        result = DailyResult(date=date, timing=timing,
+                             sample_count=len(prepared))
+        clustered_ids = {sample.sample_id
+                         for cluster in clusters for sample in cluster.samples}
+        result.noise_count = len(prepared) - len(clustered_ids)
+
+        for cluster in clusters:
+            label = self.labeler.label_cluster(cluster)
+            report = ClusterReport(cluster=cluster, label=label)
+            if label.kit is not None:
+                signature = self._signature_for(cluster, label.kit, date)
+                if signature is not None:
+                    report.signature = signature
+                    result.new_signatures.append(signature)
+                    self.database.add(signature)
+                    # Feed the freshly unpacked prototype back into the
+                    # corpus so the kit can be tracked as it drifts.
+                    self.corpus.add(label.kit, label.unpacked, collected=date)
+            result.clusters.append(report)
+        return result
+
+    # ------------------------------------------------------------------
+    # signature management
+    # ------------------------------------------------------------------
+    def _signature_for(self, cluster: Cluster, kit: str,
+                       date: datetime.date) -> Optional[Signature]:
+        """Compile a signature for a malicious cluster, unless an existing
+        deployed signature for the kit already covers its samples."""
+        contents = cluster.contents()
+        if self.config.reuse_existing_signatures and self._already_covered(
+                contents, kit, date):
+            return None
+        return self.compiler.compile_cluster(contents, kit, date)
+
+    def _already_covered(self, contents: Sequence[str], kit: str,
+                         date: datetime.date) -> bool:
+        existing = self.database.signatures_for(kit=kit, as_of=date)
+        if not existing:
+            return False
+        for content in contents:
+            normalized = normalize_for_scan(content)
+            if not any(signature.matches(normalized) for signature in existing):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # scanning with the generated signatures
+    # ------------------------------------------------------------------
+    def scan_engine(self) -> ScanEngine:
+        """A scan engine over the signatures generated so far."""
+        return ScanEngine(self.database)
+
+    def detects(self, content: str,
+                as_of: Optional[datetime.date] = None) -> bool:
+        """Whether any deployed signature matches the sample."""
+        normalized = normalize_for_scan(content)
+        return any(signature.matches(normalized)
+                   for signature in self.database.signatures_for(as_of=as_of))

@@ -1,0 +1,72 @@
+"""Result records produced by the daily Kizzle run."""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.clustering.partition import Cluster
+from repro.distsim.mapreduce import MapReduceReport
+from repro.labeling.labeler import ClusterLabel
+from repro.signatures.signature import Signature
+
+
+@dataclass
+class ClusterReport:
+    """One cluster with its label and (optional) generated signature."""
+
+    cluster: Cluster
+    label: ClusterLabel
+    signature: Optional[Signature] = None
+
+    @property
+    def size(self) -> int:
+        return self.cluster.size
+
+    @property
+    def kit(self) -> Optional[str]:
+        return self.label.kit
+
+
+@dataclass
+class DailyResult:
+    """Everything produced by one day of processing."""
+
+    date: datetime.date
+    clusters: List[ClusterReport] = field(default_factory=list)
+    new_signatures: List[Signature] = field(default_factory=list)
+    timing: Optional[MapReduceReport] = None
+    sample_count: int = 0
+    noise_count: int = 0
+
+    @property
+    def cluster_count(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def malicious_clusters(self) -> List[ClusterReport]:
+        return [report for report in self.clusters if report.kit is not None]
+
+    @property
+    def benign_clusters(self) -> List[ClusterReport]:
+        return [report for report in self.clusters if report.kit is None]
+
+    def clusters_by_kit(self) -> Dict[str, List[ClusterReport]]:
+        grouped: Dict[str, List[ClusterReport]] = {}
+        for report in self.malicious_clusters:
+            grouped.setdefault(report.kit, []).append(report)
+        return grouped
+
+    def summary(self) -> Dict[str, object]:
+        """Compact summary used by the reporting layer."""
+        return {
+            "date": self.date.isoformat(),
+            "samples": self.sample_count,
+            "clusters": self.cluster_count,
+            "malicious_clusters": len(self.malicious_clusters),
+            "new_signatures": len(self.new_signatures),
+            "noise_samples": self.noise_count,
+            "processing_minutes": (self.timing.total_time / 60.0
+                                   if self.timing else 0.0),
+        }

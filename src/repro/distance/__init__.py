@@ -1,0 +1,30 @@
+"""Distance metrics over token strings.
+
+Kizzle clusters samples by the edit distance between their abstract token
+strings (paper, Section III-A).  This package provides a from-scratch
+Levenshtein implementation over arbitrary hashable sequences, a banded
+variant that exploits the DBSCAN epsilon threshold to prune work, and the
+normalized distance used by the clustering layer.
+"""
+
+from repro.distance.levenshtein import (
+    edit_distance,
+    banded_edit_distance,
+    normalized_edit_distance,
+)
+from repro.distance.metrics import (
+    DistanceMetric,
+    TokenEditDistance,
+    JaccardDistance,
+    length_lower_bound,
+)
+
+__all__ = [
+    "edit_distance",
+    "banded_edit_distance",
+    "normalized_edit_distance",
+    "DistanceMetric",
+    "TokenEditDistance",
+    "JaccardDistance",
+    "length_lower_bound",
+]

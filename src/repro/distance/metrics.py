@@ -1,0 +1,118 @@
+"""Pluggable distance metrics used by the clustering layer.
+
+The paper uses normalized token-string edit distance with a DBSCAN epsilon of
+0.10.  We expose that as :class:`TokenEditDistance` and additionally provide a
+cheap :class:`JaccardDistance` over token multisets, which the distributed
+clustering layer uses as a pre-filter: Jaccard distance lower-bounds nothing
+formally, but combined with the :func:`length_lower_bound` it cheaply rules
+out pairs that cannot be within epsilon, avoiding quadratic banded-Levenshtein
+work on obviously unrelated samples.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from typing import Optional, Sequence, Tuple
+
+
+def length_lower_bound(a: Sequence, b: Sequence) -> float:
+    """Lower bound on the normalized edit distance from lengths alone.
+
+    At least ``abs(len(a) - len(b))`` insertions or deletions are required, so
+    the normalized distance is at least that difference divided by the longer
+    length.
+    """
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 0.0
+    return abs(len(a) - len(b)) / longest
+
+
+class DistanceMetric(abc.ABC):
+    """Interface for distances between abstract token strings."""
+
+    @abc.abstractmethod
+    def distance(self, a: Tuple[str, ...], b: Tuple[str, ...]) -> float:
+        """Return a distance in ``[0, 1]``."""
+
+    def within(self, a: Tuple[str, ...], b: Tuple[str, ...],
+               epsilon: float) -> bool:
+        """Whether the two sequences are within ``epsilon`` of each other."""
+        return self.distance(a, b) <= epsilon
+
+
+class TokenEditDistance(DistanceMetric):
+    """Normalized token edit distance with an optional banded cut-off.
+
+    Parameters
+    ----------
+    epsilon:
+        When provided, distances are only resolved exactly up to this
+        threshold; anything beyond is reported as 1.0.  This matches how the
+        clustering layer consumes the metric and makes all-pairs computation
+        far cheaper.
+    prefilter:
+        When true (default), the length lower bound and a token-histogram
+        lower bound are used to skip the dynamic program entirely for
+        obviously distant pairs.
+    """
+
+    def __init__(self, epsilon: Optional[float] = None,
+                 prefilter: bool = True) -> None:
+        self.epsilon = epsilon
+        self.prefilter = prefilter
+
+    def distance(self, a: Tuple[str, ...], b: Tuple[str, ...]) -> float:
+        from repro.distance.levenshtein import normalized_edit_distance
+
+        if self.epsilon is not None and self.prefilter:
+            if length_lower_bound(a, b) > self.epsilon:
+                return 1.0
+            if _histogram_lower_bound(a, b) > self.epsilon:
+                return 1.0
+        return normalized_edit_distance(a, b, max_normalized=self.epsilon)
+
+    def within(self, a: Tuple[str, ...], b: Tuple[str, ...],
+               epsilon: float) -> bool:
+        from repro.distance.levenshtein import banded_edit_distance
+
+        if self.prefilter and length_lower_bound(a, b) > epsilon:
+            return False
+        if self.prefilter and _histogram_lower_bound(a, b) > epsilon:
+            return False
+        longest = max(len(a), len(b))
+        if longest == 0:
+            return True
+        max_distance = int(epsilon * longest)
+        return banded_edit_distance(a, b, max_distance) is not None
+
+
+class JaccardDistance(DistanceMetric):
+    """1 - Jaccard similarity over token multisets (bag-of-tokens)."""
+
+    def distance(self, a: Tuple[str, ...], b: Tuple[str, ...]) -> float:
+        if not a and not b:
+            return 0.0
+        counter_a, counter_b = Counter(a), Counter(b)
+        intersection = sum((counter_a & counter_b).values())
+        union = sum((counter_a | counter_b).values())
+        if union == 0:
+            return 0.0
+        return 1.0 - intersection / union
+
+
+def _histogram_lower_bound(a: Sequence[str], b: Sequence[str]) -> float:
+    """Lower bound on normalized edit distance from token histograms.
+
+    Each edit operation changes the multiset of tokens by at most one element
+    on each side, so half the L1 distance between histograms (rounded up via
+    the max of surplus on either side) lower-bounds the edit distance.
+    """
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 0.0
+    counter_a, counter_b = Counter(a), Counter(b)
+    surplus_a = sum((counter_a - counter_b).values())
+    surplus_b = sum((counter_b - counter_a).values())
+    return max(surplus_a, surplus_b) / longest

@@ -1,0 +1,77 @@
+"""Minimal discrete-event engine used by the cluster simulator.
+
+Events are ``(time, sequence, callback)`` entries in a priority queue; the
+sequence number guarantees deterministic FIFO ordering for simultaneous
+events, which keeps simulation results reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event in virtual time."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """A deterministic discrete-event loop.
+
+    The loop tracks virtual time (seconds by convention).  Callbacks may
+    schedule further events; the loop runs until the queue is exhausted or an
+    optional time horizon is reached.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._counter = itertools.count()
+        self.now: float = 0.0
+        self.processed_events: int = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past: {delay}")
+        event = Event(time=self.now + delay, sequence=next(self._counter),
+                      callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute virtual time."""
+        return self.schedule(max(0.0, time - self.now), callback)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue empties (or ``until`` is reached).
+
+        Returns the final virtual time.
+        """
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self.now = until
+                return self.now
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.processed_events += 1
+            event.callback()
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)

@@ -1,0 +1,162 @@
+"""Map/reduce driver over the simulated cluster.
+
+The clustering pipeline of the paper is structured as: scatter samples to
+machines, cluster each partition independently (map), then reconcile the
+per-partition clusters on a single machine (reduce).  :class:`MapReduceJob`
+runs that structure over the simulator, executing the real map and reduce
+functions, and reports a timing breakdown that exposes the reduce bottleneck
+the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.distsim.machine import MachineSpec
+from repro.distsim.network import NetworkModel
+from repro.distsim.scheduler import Scheduler, Task, TaskResult
+
+
+@dataclass
+class MapReduceReport:
+    """Timing and accounting breakdown of one map/reduce execution."""
+
+    machine_count: int
+    partitions: int
+    scatter_time: float
+    map_time: float
+    gather_time: float
+    reduce_time: float
+    map_results: List[TaskResult] = field(default_factory=list)
+    reduce_value: Any = None
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end virtual wall-clock of the job."""
+        return self.scatter_time + self.map_time + self.gather_time \
+            + self.reduce_time
+
+    @property
+    def reduce_fraction(self) -> float:
+        """Share of total time spent gathering + reducing."""
+        total = self.total_time
+        if total <= 0:
+            return 0.0
+        return (self.gather_time + self.reduce_time) / total
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary dictionary suitable for benchmark reporting."""
+        return {
+            "machines": float(self.machine_count),
+            "partitions": float(self.partitions),
+            "scatter_s": self.scatter_time,
+            "map_s": self.map_time,
+            "gather_s": self.gather_time,
+            "reduce_s": self.reduce_time,
+            "total_s": self.total_time,
+            "total_minutes": self.total_time / 60.0,
+            "reduce_fraction": self.reduce_fraction,
+        }
+
+
+@dataclass
+class SimCluster:
+    """A pool of simulated machines plus a network model."""
+
+    machine_count: int = 50
+    machine_spec: MachineSpec = field(default_factory=MachineSpec)
+    network: NetworkModel = field(default_factory=NetworkModel)
+
+    def __post_init__(self) -> None:
+        if self.machine_count <= 0:
+            raise ValueError("machine_count must be positive")
+
+
+class MapReduceJob:
+    """Execute a map/reduce computation on a :class:`SimCluster`.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster to run on.
+    map_function:
+        Called once per partition with the partition's items; must return a
+        tuple ``(value, cost, output_bytes)`` where ``cost`` is the abstract
+        work performed and ``output_bytes`` the size of the intermediate
+        result shipped to the reducer.
+    reduce_function:
+        Called once with the list of per-partition values; must return a
+        tuple ``(value, cost)``.
+    """
+
+    def __init__(self, cluster: SimCluster,
+                 map_function: Callable[[Sequence[Any]], Tuple[Any, float, float]],
+                 reduce_function: Callable[[List[Any]], Tuple[Any, float]]) -> None:
+        self.cluster = cluster
+        self.map_function = map_function
+        self.reduce_function = reduce_function
+
+    def run(self, items: Sequence[Any],
+            partitions: Optional[int] = None,
+            item_bytes: Callable[[Any], float] = lambda item: float(len(str(item)))
+            ) -> MapReduceReport:
+        """Run the job over ``items``.
+
+        ``partitions`` defaults to the machine count.  Items are assigned to
+        partitions round-robin after the caller has already shuffled them if
+        random partitioning is desired (the clustering layer shuffles with a
+        seeded RNG so runs stay reproducible).
+        """
+        partition_count = partitions or self.cluster.machine_count
+        partition_count = max(1, min(partition_count, max(1, len(items))))
+        buckets: List[List[Any]] = [[] for _ in range(partition_count)]
+        for index, item in enumerate(items):
+            buckets[index % partition_count].append(item)
+
+        total_bytes = sum(item_bytes(item) for item in items)
+        scatter_time = self.cluster.network.scatter_time(
+            total_bytes, self.cluster.machine_count)
+
+        scheduler = Scheduler(self.cluster.machine_count,
+                              spec=self.cluster.machine_spec)
+        map_outputs: List[Any] = []
+        output_sizes: List[float] = []
+
+        def make_map_task(bucket: List[Any], index: int) -> Task:
+            def run_map() -> Dict[str, Any]:
+                value, cost, output_bytes = self.map_function(bucket)
+                return {"value": value, "cost": cost,
+                        "output_bytes": output_bytes}
+            return Task(name=f"map-{index}", callable=run_map)
+
+        tasks = [make_map_task(bucket, index)
+                 for index, bucket in enumerate(buckets) if bucket]
+        map_results = scheduler.run_tasks(tasks)
+        for result in map_results:
+            if result.error is not None:
+                raise result.error
+            map_outputs.append(result.value["value"])
+            output_sizes.append(float(result.value["output_bytes"]))
+        map_time = scheduler.makespan
+
+        per_machine_bytes = max(output_sizes) if output_sizes else 0.0
+        gather_time = self.cluster.network.gather_time(
+            per_machine_bytes, len(output_sizes) or 1)
+
+        reduce_value, reduce_cost = self.reduce_function(map_outputs)
+        reducer = Scheduler(1, spec=self.cluster.machine_spec)
+        reducer.run_tasks([Task(name="reduce", callable=lambda: None,
+                                cost=reduce_cost)])
+        reduce_time = reducer.makespan
+
+        return MapReduceReport(
+            machine_count=self.cluster.machine_count,
+            partitions=partition_count,
+            scatter_time=scatter_time,
+            map_time=map_time,
+            gather_time=gather_time,
+            reduce_time=reduce_time,
+            map_results=map_results,
+            reduce_value=reduce_value,
+        )

@@ -1,0 +1,60 @@
+"""Network model for the cluster simulator.
+
+Shipping a daily batch of JavaScript samples to worker machines and shipping
+per-partition cluster summaries back to the reducer both take time that grows
+with data volume.  We model the network as a shared medium with a fixed
+per-transfer latency and a bandwidth expressed in bytes per virtual second.
+This is intentionally simple — the paper's observation we need to reproduce
+is only that the map phase parallelizes while the reduce phase serializes on
+one machine and on the transfer of intermediate results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth model for data movement between machines.
+
+    Attributes
+    ----------
+    latency:
+        Fixed per-transfer latency in virtual seconds.
+    bandwidth_bytes_per_second:
+        Sustained throughput of a single transfer.
+    """
+
+    latency: float = 0.05
+    bandwidth_bytes_per_second: float = 50_000_000.0
+
+    def transfer_time(self, size_bytes: float) -> float:
+        """Virtual seconds to transfer ``size_bytes`` between two machines."""
+        if size_bytes < 0:
+            raise ValueError("transfer size cannot be negative")
+        return self.latency + size_bytes / self.bandwidth_bytes_per_second
+
+    def scatter_time(self, total_bytes: float, machines: int) -> float:
+        """Time to partition ``total_bytes`` across ``machines`` workers.
+
+        Transfers to distinct workers proceed in parallel, but each worker's
+        share still has to cross the network, so the scatter completes when
+        the largest share arrives.
+        """
+        if machines <= 0:
+            raise ValueError("machine count must be positive")
+        per_machine = total_bytes / machines
+        return self.transfer_time(per_machine)
+
+    def gather_time(self, per_machine_bytes: float, machines: int) -> float:
+        """Time to collect per-machine outputs on a single reducer.
+
+        The reducer's inbound link is the bottleneck: the transfers serialize
+        on it, which is one of the reasons the paper identifies the reduce
+        step as the bottleneck of the pipeline.
+        """
+        if machines <= 0:
+            raise ValueError("machine count must be positive")
+        return self.latency + (per_machine_bytes * machines) \
+            / self.bandwidth_bytes_per_second

@@ -1,0 +1,55 @@
+"""Synthetic exploit-kit and grayware corpus generator.
+
+The paper evaluates Kizzle on a month of Internet Explorer telemetry
+(80k-500k HTML/JS samples per day, August 2014) containing four exploit kits:
+Nuclear, Sweet Orange, Angler and RIG.  That corpus is proprietary, so this
+package generates a synthetic equivalent that reproduces every structural
+property the paper's pipeline depends on:
+
+* each kit is an "onion": a frequently-mutating packer around a slowly
+  changing unpacked core (plugin/AV detection + CVE payloads + eval trigger);
+* packers match the concrete idioms shown in the paper (Figure 4): RIG's
+  char-code buffer with a randomized delimiter, Nuclear's encrypted payload
+  with ``getter``/``bgColor``-replace eval obfuscation and string delimiters,
+  Sweet Orange's ``Math.sqrt`` integer obfuscation (Figure 10b), Angler's
+  hex-packed body with an exploit-carrying HTML snippet;
+* kits evolve over a timeline (Figure 5): packer changes every few days,
+  payload appends rarely, and kits borrow code (the RIG AV-check appears in
+  Nuclear from August);
+* the benign majority of the stream includes library code, ad/analytics
+  snippets and a PluginDetect-like plugin prober that legitimately shares
+  code with kit fingerprinting logic (the Figure 15 false positive).
+"""
+
+from repro.ekgen.base import ExploitKit, GeneratedSample, KitVersion
+from repro.ekgen.cves import CVE_INVENTORY, exploit_snippet, cve_list_for_kit
+from repro.ekgen.rig import RigKit
+from repro.ekgen.nuclear import NuclearKit
+from repro.ekgen.angler import AnglerKit
+from repro.ekgen.sweetorange import SweetOrangeKit
+from repro.ekgen.benign import BenignGenerator
+from repro.ekgen.evolution import EvolutionTimeline, KitEvent, default_timeline
+from repro.ekgen.telemetry import TelemetryGenerator, DailyBatch, StreamConfig
+from repro.ekgen.evasion import JunkStatementInserter, SignatureOracleAttacker
+
+__all__ = [
+    "ExploitKit",
+    "GeneratedSample",
+    "KitVersion",
+    "CVE_INVENTORY",
+    "exploit_snippet",
+    "cve_list_for_kit",
+    "RigKit",
+    "NuclearKit",
+    "AnglerKit",
+    "SweetOrangeKit",
+    "BenignGenerator",
+    "EvolutionTimeline",
+    "KitEvent",
+    "default_timeline",
+    "TelemetryGenerator",
+    "DailyBatch",
+    "StreamConfig",
+    "JunkStatementInserter",
+    "SignatureOracleAttacker",
+]

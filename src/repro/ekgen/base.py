@@ -1,0 +1,198 @@
+"""Base classes for the exploit-kit corpus simulator.
+
+An :class:`ExploitKit` produces, for a given date, a :class:`KitVersion`
+describing how the kit is configured on that day (which CVEs, which packer
+parameters, whether the anti-AV probe is present).  From a version it can
+build the *unpacked core* (stable day over day, apart from appends) and wrap
+it with the kit's packer (mutating every few days and randomized per served
+sample).
+"""
+
+from __future__ import annotations
+
+import abc
+import datetime
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ekgen.cves import (
+    AV_CHECK_CODE,
+    CVE_INVENTORY,
+    PLUGIN_DETECTION,
+    SHARED_RUNTIME,
+    exploit_snippet,
+)
+
+
+@dataclass
+class KitVersion:
+    """Configuration of a kit on a specific date.
+
+    Attributes
+    ----------
+    kit:
+        Kit name (``nuclear``, ``rig``, ``angler``, ``sweetorange``).
+    date:
+        The day the version applies to.
+    cves:
+        ``(component, cve)`` pairs active on that day.
+    av_check:
+        Whether the anti-AV file probe is included in the core.
+    packer_params:
+        Free-form packer parameters (delimiter, eval obfuscation, etc.); the
+        per-kit generators interpret these.
+    version_tag:
+        Monotonic human-readable tag, mostly for reporting/debugging.
+    """
+
+    kit: str
+    date: datetime.date
+    cves: List = field(default_factory=list)
+    av_check: bool = False
+    packer_params: Dict[str, object] = field(default_factory=dict)
+    version_tag: str = "v0"
+
+
+@dataclass
+class GeneratedSample:
+    """One sample emitted into the synthetic telemetry stream.
+
+    ``content`` is the packed HTML/JS document as captured by telemetry,
+    ``unpacked`` the inner core (used to seed the labeled corpus and for
+    ground truth / similarity experiments), ``kit`` the true family or
+    ``None`` for benign samples.
+    """
+
+    sample_id: str
+    content: str
+    kit: Optional[str]
+    date: datetime.date
+    unpacked: Optional[str] = None
+    benign_family: Optional[str] = None
+
+    @property
+    def is_malicious(self) -> bool:
+        return self.kit is not None
+
+
+class ExploitKit(abc.ABC):
+    """Base class for the four simulated kit families."""
+
+    #: Kit name; must match a key of :data:`repro.ekgen.cves.CVE_INVENTORY`.
+    name: str = ""
+
+    def __init__(self, timeline: Optional["EvolutionTimeline"] = None) -> None:
+        from repro.ekgen.evolution import EvolutionTimeline, default_timeline
+
+        self.timeline: EvolutionTimeline = timeline or default_timeline()
+        if self.name not in CVE_INVENTORY:
+            raise ValueError(f"kit name {self.name!r} has no CVE inventory")
+
+    # ------------------------------------------------------------------
+    # versioning
+    # ------------------------------------------------------------------
+    def version_for(self, date: datetime.date) -> KitVersion:
+        """The kit's configuration on ``date`` according to the timeline."""
+        return self.timeline.version_for(self.name, date)
+
+    # ------------------------------------------------------------------
+    # unpacked core
+    # ------------------------------------------------------------------
+    def core_source(self, version: KitVersion) -> str:
+        """Unpacked inner core of the kit for the given version.
+
+        Layout mirrors Figure 3: plugin detector, optional AV detector, the
+        exploit payloads, and a launcher that walks the exploit list.  The
+        text is deterministic for a given version so day-over-day winnow
+        similarity reflects genuine configuration changes only.
+        """
+        sections: List[str] = []
+        sections.append(f"// {self.name} exploit kit core with "
+                        f"{len(version.cves)} exploits")
+        sections.append(f'var gateUrl = "{self.gate_url(version)}";')
+        sections.append(PLUGIN_DETECTION)
+        sections.append(SHARED_RUNTIME)
+        if version.av_check:
+            sections.append(AV_CHECK_CODE)
+        launcher_calls: List[str] = []
+        for component, cve in version.cves:
+            sections.append(exploit_snippet(cve, component))
+            slug = cve.replace("CVE-", "cve_").replace("-", "_").lower()
+            version_literal = self._required_version(component)
+            launcher_calls.append(
+                f'  fired = run_{slug}("{version_literal}") || fired;')
+        launcher = ["function launchExploits() {",
+                    "  var fired = false;",
+                    "  detectPlugins();"]
+        if version.av_check:
+            launcher.append("  if (detectSecuritySuites() > 0) { return false; }")
+        launcher.extend(launcher_calls)
+        launcher.append("  return fired;")
+        launcher.append("}")
+        launcher.append("launchExploits();")
+        sections.append("\n".join(launcher))
+        return "\n".join(sections)
+
+    def gate_url(self, version: KitVersion) -> str:
+        """The gate/payload URL embedded in the core for this version.
+
+        For most kits the gate infrastructure is stable over the study
+        window (their unpacked cores barely change day over day, Figure 11
+        a-c); RIG overrides :meth:`core_source` to rotate URLs aggressively,
+        which is what produces the Figure 11(d) churn.
+        """
+        token = f"{self.name}-gate".encode("utf-8")
+        stable = zlib.crc32(token) % 10**8
+        return f"http://{self.name}-gate.example/{stable}/load.php"
+
+    @staticmethod
+    def _required_version(component: str) -> str:
+        versions = {
+            "flash": "13.0.0.182",
+            "silverlight": "5.1.20125.0",
+            "java": "1.7.0.17",
+            "reader": "9.3.0",
+            "ie": "10.0",
+        }
+        return versions.get(component, "1.0")
+
+    # ------------------------------------------------------------------
+    # packing
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def pack(self, core: str, version: KitVersion,
+             rng: random.Random) -> str:
+        """Wrap the unpacked core with the kit's packer.
+
+        Per-sample randomization (identifier names, keys) comes from ``rng``;
+        per-version parameters come from ``version.packer_params``.
+        """
+
+    def generate(self, date: datetime.date, rng: random.Random,
+                 sample_id: Optional[str] = None,
+                 version: Optional[KitVersion] = None) -> GeneratedSample:
+        """Generate one served sample of the kit for the given day.
+
+        ``version`` overrides the timeline lookup; the telemetry generator
+        uses this to model gradual roll-outs, where on the day of a packer
+        change only a fraction of served samples already use the new version.
+        """
+        if version is None:
+            version = self.version_for(date)
+        core = self.core_source(version)
+        packed = self.pack(core, version, rng)
+        identifier = sample_id or f"{self.name}-{date.isoformat()}-{rng.randrange(10**9):09d}"
+        return GeneratedSample(sample_id=identifier, content=packed,
+                               kit=self.name, date=date,
+                               unpacked=self.unpacked_payload(core, version))
+
+    def unpacked_payload(self, core: str, version: KitVersion) -> str:
+        """What unpacking a served sample yields.
+
+        Usually the core itself; kits that fold extra content into the packed
+        body (Angler after August 13) override this so ground truth matches
+        what the unpackers actually recover.
+        """
+        return core

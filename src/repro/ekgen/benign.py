@@ -1,0 +1,291 @@
+"""Benign grayware generator.
+
+The overwhelming majority of the paper's grayware stream is benign: ad and
+analytics snippets, plugin-probing libraries, social widgets, CDN loaders.
+Kizzle must cluster these into benign clusters and must not label them as a
+kit.  Two properties matter for the reproduction:
+
+* benign families form tight clusters of their own (the paper observes that
+  "much of what we observe is benign code that falls into a relatively small
+  number of frequently observed clusters");
+* one family — a PluginDetect-like plugin prober — legitimately shares a lot
+  of code with kit fingerprinting logic and is the source of the paper's
+  representative false positive (Figure 15, 79% overlap with Nuclear).
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.ekgen.base import GeneratedSample
+from repro.ekgen.cves import PLUGIN_DETECTION
+from repro.ekgen.identifiers import random_identifier, random_junk_string
+
+
+class BenignGenerator:
+    """Generates benign samples drawn from a fixed set of families.
+
+    Parameters
+    ----------
+    families:
+        Optional subset of family names to generate; defaults to all.
+    """
+
+    def __init__(self, families: Optional[List[str]] = None) -> None:
+        self._builders: Dict[str, Callable[[random.Random], str]] = {
+            "plugindetect": self._plugindetect,
+            "ad_rotator": self._ad_rotator,
+            "analytics": self._analytics,
+            "social_widget": self._social_widget,
+            "cdn_loader": self._cdn_loader,
+            "form_validator": self._form_validator,
+            "slideshow": self._slideshow,
+            "site_custom": self._site_custom,
+        }
+        if families is not None:
+            unknown = set(families) - set(self._builders)
+            if unknown:
+                raise ValueError(f"unknown benign families: {sorted(unknown)}")
+            self._builders = {name: self._builders[name] for name in families}
+
+    # ------------------------------------------------------------------
+    def family_names(self) -> List[str]:
+        return sorted(self._builders)
+
+    def generate(self, date: datetime.date, rng: random.Random,
+                 family: Optional[str] = None,
+                 sample_id: Optional[str] = None) -> GeneratedSample:
+        """Generate one benign sample.
+
+        Families are weighted so the common ad/analytics families dominate
+        (as in a real stream) while the PluginDetect-like prober still shows
+        up every day.
+        """
+        if family is None:
+            family = self._pick_family(rng)
+        builder = self._builders[family]
+        script = builder(rng)
+        content = (f"<html><head><title>page {rng.randrange(10**6)}</title>"
+                   f"</head><body>\n<script type=\"text/javascript\">"
+                   f"{script}</script>\n</body></html>")
+        identifier = sample_id or (
+            f"benign-{family}-{date.isoformat()}-{rng.randrange(10**9):09d}")
+        return GeneratedSample(sample_id=identifier, content=content,
+                               kit=None, date=date, unpacked=script,
+                               benign_family=family)
+
+    def _pick_family(self, rng: random.Random) -> str:
+        weighted = {
+            "ad_rotator": 25, "analytics": 25, "cdn_loader": 15,
+            "social_widget": 10, "form_validator": 8, "slideshow": 7,
+            "plugindetect": 5, "site_custom": 5,
+        }
+        available = [(name, weighted.get(name, 5)) for name in self._builders]
+        total = sum(weight for _name, weight in available)
+        pick = rng.uniform(0, total)
+        running = 0.0
+        for name, weight in available:
+            running += weight
+            if pick <= running:
+                return name
+        return available[-1][0]
+
+    # ------------------------------------------------------------------
+    # families
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _plugindetect(rng: random.Random) -> str:
+        """A PluginDetect-like plugin prober.
+
+        It reuses the same plugin-detection block the kit cores embed plus a
+        chunk of generic type-checking helpers, mirroring the paper's Figure
+        15 false positive: a benign library with ~79% winnow overlap with the
+        Nuclear core.
+        """
+        site = random_identifier(rng, 5, 9)
+        return PLUGIN_DETECTION + f"""
+var {site}Detect = {{
+  rgx: {{ any: /object|embed/i, num: /number/i, arr: /array/i, str: /string/i }},
+  toString: ({{}}).constructor.prototype.toString,
+  hasOwn: function (obj, prop) {{
+    return Object.prototype.hasOwnProperty.call(obj, prop);
+  }},
+  isPlainObject: function (c) {{
+    var a = this, b;
+    if (!c || a.rgx.any.test(a.toString.call(c)) || c.window == c ||
+        a.rgx.num.test(a.toString.call(c.nodeType))) {{ return 0; }}
+    try {{
+      if (!a.hasOwn(c, "constructor") &&
+          !a.hasOwn(c.constructor.prototype, "isPrototypeOf")) {{ return 0; }}
+    }} catch (b) {{ return 0; }}
+    return 1;
+  }},
+  isDefined: function (b) {{ return typeof b != "undefined"; }},
+  isArray: function (b) {{ return this.rgx.arr.test(this.toString.call(b)); }},
+  isString: function (b) {{ return this.rgx.str.test(this.toString.call(b)); }},
+  isNum: function (b) {{ return this.rgx.num.test(this.toString.call(b)); }},
+  getVersion: function (name) {{
+    detectPlugins();
+    if (name === "flash") {{ return pluginReport.flash; }}
+    if (name === "java") {{ return pluginReport.java; }}
+    if (name === "silverlight") {{ return pluginReport.silverlight; }}
+    return null;
+  }}
+}};
+{site}Detect.getVersion("flash");
+"""
+
+    @staticmethod
+    def _ad_rotator(rng: random.Random) -> str:
+        zone = rng.randrange(10**6)
+        host = random_junk_string(rng, rng.randint(6, 10),
+                                  "abcdefghijklmnopqrstuvwxyz")
+        slot = random_identifier(rng, 5, 8)
+        return f"""
+(function () {{
+  var adZone = {zone};
+  var adHost = "//ads.{host}.com/serve";
+  var {slot} = document.createElement("iframe");
+  {slot}.width = 728;
+  {slot}.height = 90;
+  {slot}.frameBorder = 0;
+  {slot}.scrolling = "no";
+  {slot}.src = adHost + "?zone=" + adZone + "&cb=" + Math.floor(Math.random() * 1000000);
+  var target = document.getElementById("ad-slot-" + adZone) || document.body;
+  target.appendChild({slot});
+  var pixel = new Image();
+  pixel.src = adHost + "/imp?zone=" + adZone + "&r=" + document.referrer;
+}})();
+"""
+
+    @staticmethod
+    def _analytics(rng: random.Random) -> str:
+        account = f"UA-{rng.randrange(10**7)}-{rng.randrange(1, 9)}"
+        return f"""
+var _gaq = _gaq || [];
+_gaq.push(["_setAccount", "{account}"]);
+_gaq.push(["_setDomainName", "auto"]);
+_gaq.push(["_trackPageview"]);
+(function () {{
+  var ga = document.createElement("script");
+  ga.type = "text/javascript";
+  ga.async = true;
+  ga.src = ("https:" == document.location.protocol ? "https://ssl" : "http://www")
+    + ".google-analytics.com/ga.js";
+  var s = document.getElementsByTagName("script")[0];
+  s.parentNode.insertBefore(ga, s);
+}})();
+"""
+
+    @staticmethod
+    def _social_widget(rng: random.Random) -> str:
+        app_id = rng.randrange(10**12)
+        return f"""
+(function (d, s, id) {{
+  var js, fjs = d.getElementsByTagName(s)[0];
+  if (d.getElementById(id)) {{ return; }}
+  js = d.createElement(s);
+  js.id = id;
+  js.src = "//connect.social.example/sdk.js#xfbml=1&appId={app_id}&version=v2.0";
+  fjs.parentNode.insertBefore(js, fjs);
+}}(document, "script", "social-jssdk"));
+function shareCurrentPage(network) {{
+  var url = encodeURIComponent(window.location.href);
+  var title = encodeURIComponent(document.title);
+  window.open("//share.social.example/" + network + "?u=" + url + "&t=" + title,
+              "share", "width=600,height=400");
+  return false;
+}}
+"""
+
+    @staticmethod
+    def _cdn_loader(rng: random.Random) -> str:
+        version = f"1.{rng.randrange(7, 12)}.{rng.randrange(0, 5)}"
+        fallback = random_identifier(rng, 5, 8)
+        return f"""
+(function () {{
+  function loadScript(src, onError) {{
+    var tag = document.createElement("script");
+    tag.src = src;
+    tag.async = false;
+    tag.onerror = onError;
+    document.getElementsByTagName("head")[0].appendChild(tag);
+  }}
+  loadScript("//cdn.libs.example/jquery/{version}/jquery.min.js", function {fallback}() {{
+    loadScript("/assets/vendor/jquery-{version}.min.js", function () {{
+      window.console && console.warn("jquery unavailable");
+    }});
+  }});
+  loadScript("//cdn.libs.example/underscore/1.6.0/underscore-min.js", null);
+}})();
+"""
+
+    @staticmethod
+    def _form_validator(rng: random.Random) -> str:
+        form = random_identifier(rng, 5, 9)
+        return f"""
+function validate_{form}(formElement) {{
+  var errors = [];
+  var email = formElement.elements["email"];
+  var name = formElement.elements["name"];
+  if (!name.value || name.value.length < 2) {{
+    errors.push("Please enter your name.");
+  }}
+  if (!email.value || !/^[^@\\s]+@[^@\\s]+\\.[a-zA-Z]{{2,}}$/.test(email.value)) {{
+    errors.push("Please enter a valid email address.");
+  }}
+  var box = document.getElementById("{form}-errors");
+  box.innerHTML = "";
+  for (var i = 0; i < errors.length; i++) {{
+    var row = document.createElement("p");
+    row.appendChild(document.createTextNode(errors[i]));
+    box.appendChild(row);
+  }}
+  return errors.length === 0;
+}}
+"""
+
+    @staticmethod
+    def _slideshow(rng: random.Random) -> str:
+        interval = rng.choice([3000, 4000, 5000, 6000])
+        gallery = random_identifier(rng, 5, 9)
+        return f"""
+var {gallery}Index = 0;
+function {gallery}Advance() {{
+  var slides = document.querySelectorAll(".slide");
+  if (!slides.length) {{ return; }}
+  for (var i = 0; i < slides.length; i++) {{
+    slides[i].style.display = "none";
+  }}
+  {gallery}Index = ({gallery}Index + 1) % slides.length;
+  slides[{gallery}Index].style.display = "block";
+}}
+setInterval({gallery}Advance, {interval});
+document.addEventListener("DOMContentLoaded", {gallery}Advance);
+"""
+
+    @staticmethod
+    def _site_custom(rng: random.Random) -> str:
+        """Low-volume, high-variance site-specific glue code.
+
+        These samples are intentionally diverse so a few of them end up as
+        DBSCAN noise, like the long tail of one-off scripts in a real stream.
+        """
+        pieces = []
+        for _ in range(rng.randint(2, 5)):
+            func = random_identifier(rng, 6, 10)
+            element = random_identifier(rng, 4, 8)
+            attribute = rng.choice(["innerHTML", "textContent", "className",
+                                    "title", "id"])
+            literal = random_junk_string(rng, rng.randint(6, 24))
+            pieces.append(f"""
+function {func}() {{
+  var node = document.getElementById("{element}");
+  if (node) {{ node.{attribute} = "{literal}"; }}
+  return node;
+}}
+{func}();
+""")
+        return "\n".join(pieces)

@@ -1,0 +1,309 @@
+"""CVE inventory and exploit-code snippets shared by the kit models.
+
+Figure 2 of the paper lists the CVEs each kit carried as of September 2014.
+The snippets below are *simulated* exploit payloads: they are benign
+JavaScript that mimics the structure of real exploit code (plugin version
+checks, object spraying loops, embedding of plugin content) without any
+actual exploitation logic.  What matters for the reproduction is that each
+CVE maps to a *stable, characteristic* block of code so that:
+
+* the unpacked core of a kit changes only when a CVE is appended (Figure 5);
+* two kits carrying the same CVE genuinely share code (cross-kit borrowing),
+  which the winnowing-based labeling must tolerate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: CVE inventory per kit, transcribed from Figure 2 (September 2014).
+#: Keys are kit names, values are (component, cve) pairs.
+CVE_INVENTORY: Dict[str, List[Tuple[str, str]]] = {
+    "sweetorange": [
+        ("flash", "CVE-2014-0515"),
+        ("java", "CVE-UNKNOWN-JAVA"),
+        ("ie", "CVE-2013-2551"),
+        ("ie", "CVE-2014-0322"),
+    ],
+    "angler": [
+        ("flash", "CVE-2014-0507"),
+        ("flash", "CVE-2014-0515"),
+        ("silverlight", "CVE-2013-0074"),
+        ("java", "CVE-2013-0422"),
+        ("ie", "CVE-2013-2551"),
+    ],
+    "rig": [
+        ("flash", "CVE-2014-0497"),
+        ("silverlight", "CVE-2013-0074"),
+        ("java", "CVE-UNKNOWN-JAVA"),
+        ("ie", "CVE-2013-2551"),
+    ],
+    "nuclear": [
+        ("flash", "CVE-2013-5331"),
+        ("flash", "CVE-2014-0497"),
+        ("java", "CVE-2013-2423"),
+        ("java", "CVE-2013-2460"),
+        ("reader", "CVE-2010-0188"),
+        ("ie", "CVE-2013-2551"),
+    ],
+}
+
+#: Kits that perform an anti-AV file check (Figure 2, "AV check" column).
+AV_CHECK_KITS = frozenset({"angler", "rig", "nuclear"})
+
+
+def cve_list_for_kit(kit: str) -> List[str]:
+    """The CVE identifiers a kit carries (Figure 2)."""
+    if kit not in CVE_INVENTORY:
+        raise KeyError(f"unknown kit: {kit!r}")
+    return [cve for _component, cve in CVE_INVENTORY[kit]]
+
+
+def components_for_kit(kit: str) -> List[str]:
+    """The plugin/browser components a kit targets."""
+    if kit not in CVE_INVENTORY:
+        raise KeyError(f"unknown kit: {kit!r}")
+    seen: List[str] = []
+    for component, _cve in CVE_INVENTORY[kit]:
+        if component not in seen:
+            seen.append(component)
+    return seen
+
+
+def _slug(cve: str) -> str:
+    return cve.replace("CVE-", "cve_").replace("-", "_").lower()
+
+
+def exploit_snippet(cve: str, component: str) -> str:
+    """Simulated exploit payload code for one CVE.
+
+    The code is deterministic per CVE so that kit cores are stable over time
+    and identical across kits sharing the exploit.
+    """
+    slug = _slug(cve)
+    if component == "flash":
+        return _flash_exploit(cve, slug)
+    if component == "silverlight":
+        return _silverlight_exploit(cve, slug)
+    if component == "java":
+        return _java_exploit(cve, slug)
+    if component == "reader":
+        return _reader_exploit(cve, slug)
+    if component == "ie":
+        return _ie_exploit(cve, slug)
+    raise ValueError(f"unknown component: {component!r}")
+
+
+def _flash_exploit(cve: str, slug: str) -> str:
+    return f"""
+function run_{slug}(version) {{
+  // simulated flash exploit stub for {cve}
+  if (!checkFlashVersion(version, "{cve}")) {{ return false; }}
+  var holder_{slug} = document.createElement("div");
+  var swf_{slug} = document.createElement("object");
+  swf_{slug}.setAttribute("type", "application/x-shockwave-flash");
+  swf_{slug}.setAttribute("data", buildPayloadUrl("swf", "{cve}"));
+  swf_{slug}.setAttribute("width", "10");
+  swf_{slug}.setAttribute("height", "10");
+  var param_{slug} = document.createElement("param");
+  param_{slug}.setAttribute("name", "FlashVars");
+  param_{slug}.setAttribute("value", "exec=" + encodeSession("{cve}"));
+  swf_{slug}.appendChild(param_{slug});
+  holder_{slug}.appendChild(swf_{slug});
+  document.body.appendChild(holder_{slug});
+  return true;
+}}
+"""
+
+
+def _silverlight_exploit(cve: str, slug: str) -> str:
+    return f"""
+function run_{slug}(version) {{
+  // simulated silverlight exploit stub for {cve}
+  if (!checkSilverlightVersion(version, "{cve}")) {{ return false; }}
+  var xapHost_{slug} = document.createElement("object");
+  xapHost_{slug}.setAttribute("data", "data:application/x-silverlight-2,");
+  xapHost_{slug}.setAttribute("type", "application/x-silverlight-2");
+  var src_{slug} = document.createElement("param");
+  src_{slug}.setAttribute("name", "source");
+  src_{slug}.setAttribute("value", buildPayloadUrl("xap", "{cve}"));
+  var init_{slug} = document.createElement("param");
+  init_{slug}.setAttribute("name", "initParams");
+  init_{slug}.setAttribute("value", "shell32=" + encodeSession("{cve}"));
+  xapHost_{slug}.appendChild(src_{slug});
+  xapHost_{slug}.appendChild(init_{slug});
+  document.body.appendChild(xapHost_{slug});
+  return true;
+}}
+"""
+
+
+def _java_exploit(cve: str, slug: str) -> str:
+    return f"""
+function run_{slug}(version) {{
+  // simulated java exploit stub for {cve}
+  if (!checkJavaVersion(version, "{cve}")) {{ return false; }}
+  var applet_{slug} = document.createElement("applet");
+  applet_{slug}.setAttribute("archive", buildPayloadUrl("jar", "{cve}"));
+  applet_{slug}.setAttribute("code", "Inst.class");
+  var key_{slug} = document.createElement("param");
+  key_{slug}.setAttribute("name", "rhost");
+  key_{slug}.setAttribute("value", encodeSession("{cve}"));
+  applet_{slug}.appendChild(key_{slug});
+  document.body.appendChild(applet_{slug});
+  return true;
+}}
+"""
+
+
+def _reader_exploit(cve: str, slug: str) -> str:
+    return f"""
+function run_{slug}(version) {{
+  // simulated adobe reader exploit stub for {cve}
+  if (!checkReaderVersion(version, "{cve}")) {{ return false; }}
+  var frame_{slug} = document.createElement("iframe");
+  frame_{slug}.setAttribute("width", "1");
+  frame_{slug}.setAttribute("height", "1");
+  frame_{slug}.setAttribute("src", buildPayloadUrl("pdf", "{cve}"));
+  document.body.appendChild(frame_{slug});
+  return true;
+}}
+"""
+
+
+def _ie_exploit(cve: str, slug: str) -> str:
+    return f"""
+function run_{slug}(version) {{
+  // simulated internet explorer memory-corruption stub for {cve}
+  if (!checkBrowserBuild(version, "{cve}")) {{ return false; }}
+  var spray_{slug} = new Array();
+  var block_{slug} = "";
+  for (var pad_{slug} = 0; pad_{slug} < 64; pad_{slug}++) {{
+    block_{slug} += "%u0c0c%u0c0c";
+  }}
+  for (var slot_{slug} = 0; slot_{slug} < 256; slot_{slug}++) {{
+    spray_{slug}[slot_{slug}] = block_{slug} + encodeSession("{cve}");
+  }}
+  var anchor_{slug} = document.createElement("vml:rect");
+  anchor_{slug}.setAttribute("style", "behavior:url(#default#VML)");
+  document.body.appendChild(anchor_{slug});
+  return true;
+}}
+"""
+
+
+#: Helper runtime shared by every kit's unpacked core.  Stable text so the
+#: cross-kit winnow overlap reflects the paper's observation that kits share
+#: large parts of their fingerprinting plumbing.
+SHARED_RUNTIME = """
+function checkFlashVersion(version, cve) {
+  return pluginReport.flash && compareVersions(pluginReport.flash, version) <= 0;
+}
+function checkSilverlightVersion(version, cve) {
+  return pluginReport.silverlight && compareVersions(pluginReport.silverlight, version) <= 0;
+}
+function checkJavaVersion(version, cve) {
+  return pluginReport.java && compareVersions(pluginReport.java, version) <= 0;
+}
+function checkReaderVersion(version, cve) {
+  return pluginReport.reader && compareVersions(pluginReport.reader, version) <= 0;
+}
+function checkBrowserBuild(version, cve) {
+  return pluginReport.msie && compareVersions(pluginReport.msie, version) <= 0;
+}
+function compareVersions(installed, required) {
+  var a = installed.split(".");
+  var b = required.split(".");
+  for (var i = 0; i < Math.max(a.length, b.length); i++) {
+    var left = parseInt(a[i] || "0", 10);
+    var right = parseInt(b[i] || "0", 10);
+    if (left !== right) { return left < right ? -1 : 1; }
+  }
+  return 0;
+}
+function encodeSession(cve) {
+  var seed = cve.length * 2654435761 % 4294967296;
+  return seed.toString(16) + "-" + cve.replace(/[^0-9]/g, "");
+}
+function buildPayloadUrl(kind, cve) {
+  return gateUrl + "?f=" + kind + "&k=" + encodeSession(cve);
+}
+"""
+
+#: Plugin fingerprinting block.  Deliberately close to the structure of the
+#: PluginDetect library so the benign PluginDetect-like sample of Figure 15
+#: shares a high winnow overlap with kit cores.
+PLUGIN_DETECTION = """
+var pluginReport = {
+  flash: null, silverlight: null, java: null, reader: null, msie: null
+};
+function detectPlugins() {
+  var nav = window.navigator;
+  pluginReport.msie = detectTrident(nav.userAgent);
+  if (nav.plugins && nav.plugins.length) {
+    for (var i = 0; i < nav.plugins.length; i++) {
+      var plugin = nav.plugins[i];
+      var name = plugin.name.toLowerCase();
+      if (name.indexOf("shockwave flash") !== -1) {
+        pluginReport.flash = extractVersion(plugin.description);
+      } else if (name.indexOf("silverlight") !== -1) {
+        pluginReport.silverlight = extractVersion(plugin.description);
+      } else if (name.indexOf("java") !== -1) {
+        pluginReport.java = extractVersion(plugin.description);
+      } else if (name.indexOf("adobe acrobat") !== -1 || name.indexOf("reader") !== -1) {
+        pluginReport.reader = extractVersion(plugin.description);
+      }
+    }
+  } else {
+    pluginReport.flash = probeActiveX("ShockwaveFlash.ShockwaveFlash");
+    pluginReport.silverlight = probeActiveX("AgControl.AgControl");
+    pluginReport.java = probeActiveX("JavaWebStart.isInstalled");
+    pluginReport.reader = probeActiveX("AcroPDF.PDF");
+  }
+  return pluginReport;
+}
+function detectTrident(userAgent) {
+  var match = /MSIE ([0-9]+\\.[0-9]+)/.exec(userAgent);
+  if (match) { return match[1]; }
+  match = /Trident\\/.*rv:([0-9]+\\.[0-9]+)/.exec(userAgent);
+  return match ? match[1] : null;
+}
+function extractVersion(description) {
+  var match = /([0-9]+(?:[._][0-9]+)+)/.exec(description || "");
+  return match ? match[1].replace(/_/g, ".") : null;
+}
+function probeActiveX(progId) {
+  try {
+    var control = new ActiveXObject(progId);
+    if (control) {
+      if (progId.indexOf("Flash") !== -1) {
+        return extractVersion(control.GetVariable("$version"));
+      }
+      return "1.0";
+    }
+  } catch (e) { }
+  return null;
+}
+"""
+
+#: The anti-AV file probe that RIG used first and Nuclear copied verbatim in
+#: August 2014 ("code borrowing", Section II-B).  The exactness of the copy
+#: matters: the paper highlights that the *exact* code was reused.
+AV_CHECK_CODE = """
+function detectSecuritySuites() {
+  var suites = [
+    "res://C:\\\\Program%20Files\\\\Kaspersky%20Lab\\\\Kaspersky%20Anti-Virus\\\\klwtblc.dll",
+    "res://C:\\\\Program%20Files\\\\Trend%20Micro\\\\Titanium\\\\TmopIEPlg.dll",
+    "res://C:\\\\Program%20Files\\\\ESET\\\\ESET%20NOD32%20Antivirus\\\\eplgHooks.dll",
+    "res://C:\\\\Program%20Files\\\\AVG\\\\AVG2014\\\\avgssie.dll"
+  ];
+  var detected = 0;
+  for (var i = 0; i < suites.length; i++) {
+    var probe = new Image();
+    probe.onerror = function () { };
+    probe.onload = function () { detected++; };
+    probe.src = suites[i];
+  }
+  return detected;
+}
+"""

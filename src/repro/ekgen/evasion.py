@@ -1,0 +1,165 @@
+"""Attacker evasion models (paper, Section V "Deployment and avoidance").
+
+The paper discusses how an attacker who knows Kizzle's algorithm could try to
+defeat it.  This module implements the concrete evasions so the benchmarks
+can measure their effect:
+
+* :class:`JunkStatementInserter` — "insertion of a random number of
+  superfluous JavaScript instructions between relevant operations to beat the
+  structural signatures".  It splits a packed script at statement boundaries
+  and injects no-op statements at random positions, which destroys any long
+  consecutive common token window while preserving the script's behaviour.
+* :class:`SignatureOracleAttacker` — the trial-and-error loop of Figure 1:
+  the attacker keeps generating fresh packer variants of his kit and checks
+  each against a (deployed, hence visible) scanner until one passes, counting
+  how many attempts the evasion took.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.ekgen.identifiers import random_identifier, random_junk_string
+
+_SCRIPT_SPLIT_RE = re.compile(r"(<script\b[^>]*>)(.*?)(</script\s*>)",
+                              re.IGNORECASE | re.DOTALL)
+
+
+@dataclass
+class JunkStatementInserter:
+    """Insert superfluous statements between the statements of a script.
+
+    ``density`` is the probability of injecting a junk statement after any
+    given statement boundary; ``max_junk_per_site`` bounds how many are
+    injected at one boundary.
+    """
+
+    density: float = 0.4
+    max_junk_per_site: int = 2
+    seed: int = 0
+
+    def junk_statement(self, rng: random.Random) -> str:
+        """One harmless statement that does not disturb the packer state.
+
+        The statements are deliberately diverse in token structure (that is
+        the attacker's goal: no two served variants should share long token
+        runs across the injected junk).
+        """
+        name = random_identifier(rng, 5, 9)
+        other = random_identifier(rng, 4, 7)
+        choice = rng.randrange(8)
+        if choice == 0:
+            return f'var {name} = {rng.randrange(1, 10**6)};'
+        if choice == 1:
+            return f'var {name} = "{random_junk_string(rng, rng.randint(4, 16))}";'
+        if choice == 2:
+            return f'{name} = typeof window != "undefined";'
+        if choice == 3:
+            return f'if (false) {{ {name} = null; }}'
+        if choice == 4:
+            return (f'var {name} = [{rng.randrange(9)}, {rng.randrange(9)},'
+                    f' {rng.randrange(9)}];')
+        if choice == 5:
+            return f'function {name}() {{ return {rng.randrange(100)}; }}'
+        if choice == 6:
+            return (f'var {name} = {rng.randrange(50)} '
+                    f'{rng.choice(["+", "*", "-"])} {rng.randrange(50)};')
+        return (f'var {name} = {{ {other}: '
+                f'"{random_junk_string(rng, rng.randint(3, 9))}" }};')
+
+    def rewrite_script(self, script: str, rng: random.Random) -> str:
+        """Inject junk statements into one script body.
+
+        Junk is only inserted at *top-level* statement boundaries (a ``;``
+        outside every bracket and string literal), which is what a kit author
+        automating the evasion would do: it guarantees the packer still
+        decodes and runs, while still breaking up any long token window that
+        spans multiple statements.
+        """
+        insertion_points = self._statement_boundaries(script)
+        if not insertion_points:
+            return script
+        pieces: List[str] = []
+        previous = 0
+        for boundary in insertion_points:
+            pieces.append(script[previous:boundary])
+            previous = boundary
+            if rng.random() < self.density:
+                for _ in range(rng.randint(1, self.max_junk_per_site)):
+                    pieces.append("\n" + self.junk_statement(rng) + "\n")
+        pieces.append(script[previous:])
+        return "".join(pieces)
+
+    @staticmethod
+    def _statement_boundaries(script: str) -> List[int]:
+        """Character offsets just after each top-level ``;``."""
+        boundaries: List[int] = []
+        depth = 0
+        in_string: Optional[str] = None
+        escaped = False
+        for index, char in enumerate(script):
+            if in_string is not None:
+                if escaped:
+                    escaped = False
+                elif char == "\\":
+                    escaped = True
+                elif char == in_string:
+                    in_string = None
+                continue
+            if char in "'\"`":
+                in_string = char
+            elif char in "([{":
+                depth += 1
+            elif char in ")]}":
+                depth = max(0, depth - 1)
+            elif char == ";" and depth == 0:
+                boundaries.append(index + 1)
+        return boundaries
+
+    def rewrite(self, content: str, seed: Optional[int] = None) -> str:
+        """Inject junk into every inline script of an HTML sample (or into
+        the whole text when the sample is raw JavaScript)."""
+        rng = random.Random(self.seed if seed is None else seed)
+        if "<script" not in content.lower():
+            return self.rewrite_script(content, rng)
+
+        def replace(match: re.Match) -> str:
+            opening, body, closing = match.group(1), match.group(2), match.group(3)
+            return opening + self.rewrite_script(body, rng) + closing
+
+        return _SCRIPT_SPLIT_RE.sub(replace, content)
+
+
+@dataclass
+class SignatureOracleAttacker:
+    """The attacker's trial-and-error loop against a visible scanner.
+
+    ``generate_variant`` produces a fresh packed sample each attempt (e.g. a
+    kit's ``generate`` with a new RNG); ``is_detected`` is the deployed
+    scanner the attacker can query freely.  ``evade`` keeps trying mutations
+    until one passes or the attempt budget is exhausted, and reports the
+    number of attempts — the "work factor" the defender wants to maximize.
+    """
+
+    generate_variant: Callable[[int], str]
+    is_detected: Callable[[str], bool]
+    mutator: Optional[JunkStatementInserter] = None
+    max_attempts: int = 50
+    attempts_log: List[bool] = field(default_factory=list)
+
+    def evade(self) -> Tuple[Optional[str], int]:
+        """Return ``(undetected_sample, attempts)``; the sample is ``None``
+        when the budget runs out without finding an evasion."""
+        self.attempts_log = []
+        for attempt in range(1, self.max_attempts + 1):
+            candidate = self.generate_variant(attempt)
+            if self.mutator is not None:
+                candidate = self.mutator.rewrite(candidate, seed=attempt)
+            detected = self.is_detected(candidate)
+            self.attempts_log.append(detected)
+            if not detected:
+                return candidate, attempt
+        return None, self.max_attempts

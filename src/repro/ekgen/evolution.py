@@ -1,0 +1,275 @@
+"""Kit evolution timeline (paper Section II-B and Figure 5).
+
+Exploit kits change in three ways: the packer mutates frequently, exploits
+are appended infrequently, and kits borrow code from each other.  The
+:class:`EvolutionTimeline` records dated :class:`KitEvent` entries per kit and
+folds them into the :class:`~repro.ekgen.base.KitVersion` in effect on any
+given day.
+
+:func:`default_timeline` transcribes the concrete history the paper documents
+for June-August 2014, most importantly the Nuclear packer's eval-obfuscation
+changes of Figure 5, the Angler change of August 13 that opened the AV window
+of vulnerability (Figure 6), and RIG's frequent delimiter rotations.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ekgen.cves import CVE_INVENTORY
+
+DATE = datetime.date
+
+
+@dataclass(frozen=True)
+class KitEvent:
+    """One dated change to a kit.
+
+    ``kind`` is one of:
+
+    * ``"packer"`` -- superficial packer mutation; ``params`` are merged into
+      the version's ``packer_params``.
+    * ``"packer_semantic"`` -- a packer change that also alters its
+      semantics (the 8/12 Nuclear event); treated like ``"packer"`` but
+      flagged so experiments can distinguish it.
+    * ``"payload_cve"`` -- a CVE append; ``params`` must contain
+      ``component`` and ``cve``.
+    * ``"av_check"`` -- the anti-AV probe is switched on (code borrowing).
+    """
+
+    date: DATE
+    kind: str
+    description: str = ""
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class _KitHistory:
+    """Base configuration plus the ordered event list of one kit."""
+
+    base_packer_params: Dict[str, object]
+    base_cves: List[Tuple[str, str]]
+    base_av_check: bool
+    events: List[KitEvent] = field(default_factory=list)
+
+    def sorted_events(self) -> List[KitEvent]:
+        return sorted(self.events, key=lambda event: event.date)
+
+
+class EvolutionTimeline:
+    """Per-kit evolution histories with date-indexed lookup."""
+
+    def __init__(self) -> None:
+        self._histories: Dict[str, _KitHistory] = {}
+
+    # ------------------------------------------------------------------
+    def register_kit(self, kit: str, base_packer_params: Dict[str, object],
+                     base_cves: Optional[List[Tuple[str, str]]] = None,
+                     base_av_check: bool = False) -> None:
+        """Register a kit with its initial configuration."""
+        cves = list(base_cves if base_cves is not None else CVE_INVENTORY[kit])
+        self._histories[kit] = _KitHistory(
+            base_packer_params=dict(base_packer_params),
+            base_cves=cves,
+            base_av_check=base_av_check,
+        )
+
+    def add_event(self, kit: str, event: KitEvent) -> None:
+        """Append an event to a kit's history."""
+        if kit not in self._histories:
+            raise KeyError(f"kit {kit!r} is not registered")
+        self._histories[kit].events.append(event)
+
+    def events_for(self, kit: str,
+                   until: Optional[DATE] = None) -> List[KitEvent]:
+        """All events of a kit, optionally restricted to ``date <= until``."""
+        if kit not in self._histories:
+            raise KeyError(f"kit {kit!r} is not registered")
+        events = self._histories[kit].sorted_events()
+        if until is None:
+            return events
+        return [event for event in events if event.date <= until]
+
+    def known_kits(self) -> List[str]:
+        return sorted(self._histories)
+
+    # ------------------------------------------------------------------
+    def version_for(self, kit: str, date: DATE) -> "KitVersion":
+        """Fold the history into the configuration in effect on ``date``."""
+        from repro.ekgen.base import KitVersion
+
+        if kit not in self._histories:
+            raise KeyError(f"kit {kit!r} is not registered")
+        history = self._histories[kit]
+        packer_params = dict(history.base_packer_params)
+        cves = list(history.base_cves)
+        av_check = history.base_av_check
+        applied = 0
+        for event in history.sorted_events():
+            if event.date > date:
+                break
+            applied += 1
+            if event.kind in ("packer", "packer_semantic"):
+                packer_params.update(event.params)
+            elif event.kind == "payload_cve":
+                component = str(event.params["component"])
+                cve = str(event.params["cve"])
+                if (component, cve) not in cves:
+                    cves.append((component, cve))
+            elif event.kind == "av_check":
+                av_check = True
+            else:
+                raise ValueError(f"unknown event kind: {event.kind!r}")
+        return KitVersion(kit=kit, date=date, cves=cves, av_check=av_check,
+                          packer_params=packer_params,
+                          version_tag=f"v{applied}")
+
+    def packer_change_dates(self, kit: str,
+                            start: Optional[DATE] = None,
+                            end: Optional[DATE] = None) -> List[DATE]:
+        """Dates on which the kit's packer changed (used by the AV-lag model
+        and the Figure 5 / Figure 12 experiments)."""
+        dates = [event.date for event in self.events_for(kit)
+                 if event.kind in ("packer", "packer_semantic")]
+        if start is not None:
+            dates = [d for d in dates if d >= start]
+        if end is not None:
+            dates = [d for d in dates if d <= end]
+        return dates
+
+
+# ----------------------------------------------------------------------
+# The documented 2014 history.
+# ----------------------------------------------------------------------
+def default_timeline() -> EvolutionTimeline:
+    """The June-August 2014 evolution history documented in the paper."""
+    timeline = EvolutionTimeline()
+
+    # ------------------------------------------------------------------
+    # Nuclear: Figure 5.  Until late July the kit had no AV check and a
+    # smaller CVE set; the packer's eval obfuscation changed 13 times.
+    # ------------------------------------------------------------------
+    nuclear_base_cves = [
+        ("flash", "CVE-2013-5331"),
+        ("flash", "CVE-2014-0497"),
+        ("java", "CVE-2013-2423"),
+        ("java", "CVE-2013-2460"),
+        ("reader", "CVE-2010-0188"),
+        ("ie", "CVE-2013-2551"),
+    ]
+    timeline.register_kit(
+        "nuclear",
+        base_packer_params={"eval_obfuscation": "ev#FFFFFFal",
+                            "delimiter": "Zq2w",
+                            "packer_generation": 1},
+        base_cves=nuclear_base_cves,
+        base_av_check=False,
+    )
+    nuclear_packer_changes = [
+        (DATE(2014, 6, 14), "e#FFFFFFval", None),
+        (DATE(2014, 6, 18), "eva#FFFFFFl", None),
+        (DATE(2014, 6, 24), "ev+var", None),
+        (DATE(2014, 6, 30), "e~v~#...~a~l", None),
+        (DATE(2014, 7, 9), "e~#...~v~a~l", None),
+        (DATE(2014, 7, 11), "e~##...~#v~#a~#l", None),
+        (DATE(2014, 7, 17), "e3X@@#v", None),
+        (DATE(2014, 7, 20), "e3fwrwg4#", None),
+        (DATE(2014, 8, 17), "esa1asv", "sa1as"),
+        (DATE(2014, 8, 19), "eher_vam#", "her_vam"),
+        (DATE(2014, 8, 22), "efber443#", "fber443"),
+        (DATE(2014, 8, 26), "eUluN#", "UluN"),
+    ]
+    for date, obfuscation, delimiter in nuclear_packer_changes:
+        params: Dict[str, object] = {"eval_obfuscation": obfuscation}
+        if delimiter is not None:
+            params["delimiter"] = delimiter
+        timeline.add_event("nuclear", KitEvent(
+            date=date, kind="packer",
+            description=f"eval obfuscation changed to {obfuscation}",
+            params=params))
+    timeline.add_event("nuclear", KitEvent(
+        date=DATE(2014, 8, 12), kind="packer_semantic",
+        description="semantic change to the packer",
+        params={"packer_generation": 2, "eval_obfuscation": "e3fwrwg4#"}))
+    timeline.add_event("nuclear", KitEvent(
+        date=DATE(2014, 7, 29), kind="av_check",
+        description="AV detection added to the plug-in detector "
+                    "(code borrowed from RIG)"))
+    timeline.add_event("nuclear", KitEvent(
+        date=DATE(2014, 8, 27), kind="payload_cve",
+        description="CVE-2013-0074 (Silverlight) appended",
+        params={"component": "silverlight", "cve": "CVE-2013-0074"}))
+
+    # ------------------------------------------------------------------
+    # RIG: delimiter rotations roughly weekly; URLs churn per sample (handled
+    # by the generator), AV check present since May.
+    # ------------------------------------------------------------------
+    timeline.register_kit(
+        "rig",
+        base_packer_params={"delimiter": "y6", "chunk_size": 8},
+        base_av_check=True,
+    )
+    rig_delimiters = [
+        (DATE(2014, 8, 1), "k3"),
+        (DATE(2014, 8, 5), "Qz"),
+        (DATE(2014, 8, 9), "w7p"),
+        (DATE(2014, 8, 13), "Lx"),
+        (DATE(2014, 8, 18), "vv4"),
+        (DATE(2014, 8, 23), "J9"),
+        (DATE(2014, 8, 28), "t2r"),
+    ]
+    for date, delimiter in rig_delimiters:
+        timeline.add_event("rig", KitEvent(
+            date=date, kind="packer",
+            description=f"delimiter rotated to {delimiter}",
+            params={"delimiter": delimiter}))
+
+    # ------------------------------------------------------------------
+    # Angler: the exploit-carrying HTML snippet moves into the obfuscated
+    # body on August 13 (Figure 6); a couple of additional cosmetic packer
+    # mutations during the month.
+    # ------------------------------------------------------------------
+    timeline.register_kit(
+        "angler",
+        base_packer_params={"exploit_string_in_html": True,
+                            "encoding": "hex",
+                            "chunk_size": 24,
+                            "marker": "XKeyAB12"},
+        base_av_check=True,
+    )
+    timeline.add_event("angler", KitEvent(
+        date=DATE(2014, 8, 4), kind="packer",
+        description="packed-body marker rotated",
+        params={"marker": "Zq77Feed"}))
+    timeline.add_event("angler", KitEvent(
+        date=DATE(2014, 8, 13), kind="packer",
+        description="Java-exploit HTML snippet moved into the obfuscated body",
+        params={"exploit_string_in_html": False, "marker": "Nn3Plate"}))
+    timeline.add_event("angler", KitEvent(
+        date=DATE(2014, 8, 21), kind="packer",
+        description="packed-body marker rotated",
+        params={"marker": "Vt9Gloom"}))
+
+    # ------------------------------------------------------------------
+    # Sweet Orange: Math.sqrt-style integer obfuscation; the junk token and
+    # obfuscation constants rotate occasionally.
+    # ------------------------------------------------------------------
+    timeline.register_kit(
+        "sweetorange",
+        base_packer_params={"junk_token": "WWWWWWWbEWsjdhfW",
+                            "math_square": 196,
+                            "chunk_size": 48},
+        base_av_check=False,
+    )
+    timeline.add_event("sweetorange", KitEvent(
+        date=DATE(2014, 8, 7), kind="packer",
+        description="junk token rotated",
+        params={"junk_token": "QQhhZKpwvvNNeRRt", "math_square": 225}))
+    timeline.add_event("sweetorange", KitEvent(
+        date=DATE(2014, 8, 19), kind="packer",
+        description="junk token rotated",
+        params={"junk_token": "MMxoPPlqaaTTbeWW", "math_square": 324}))
+
+    return timeline

@@ -1,0 +1,102 @@
+"""Deterministic random identifier / string helpers for the kit generators.
+
+Exploit kits randomize variable names, delimiters, encryption keys and hex
+colors per served sample.  All helpers here draw from a caller-supplied
+:class:`random.Random` so corpus generation is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List, Sequence
+
+# Kit-generated identifiers are plain alphanumeric, matching the randomized
+# names observed in the wild (paper, Figures 9 and 10: Euur1V, jkb0hA,
+# QB0Xk, ...).  Underscore/dollar are deliberately excluded so that the
+# character classes Kizzle infers from a day's cluster generalize to the next
+# day's names.
+_IDENT_START = string.ascii_letters
+_IDENT_CONT = string.ascii_letters + string.digits
+_JS_RESERVED = frozenset(
+    {"var", "new", "for", "if", "in", "do", "int", "let", "try"}
+)
+
+
+def random_identifier(rng: random.Random, min_length: int = 4,
+                      max_length: int = 8) -> str:
+    """A random JavaScript identifier (never a reserved word)."""
+    while True:
+        length = rng.randint(min_length, max_length)
+        name = rng.choice(_IDENT_START) + "".join(
+            rng.choice(_IDENT_CONT) for _ in range(length - 1))
+        if name.lower() not in _JS_RESERVED:
+            return name
+
+
+def random_identifiers(rng: random.Random, count: int,
+                       min_length: int = 4, max_length: int = 8) -> List[str]:
+    """``count`` distinct random identifiers."""
+    names: List[str] = []
+    seen = set()
+    while len(names) < count:
+        name = random_identifier(rng, min_length, max_length)
+        if name not in seen:
+            seen.add(name)
+            names.append(name)
+    return names
+
+
+def random_delimiter(rng: random.Random, min_length: int = 2,
+                     max_length: int = 4) -> str:
+    """A short alphanumeric delimiter such as RIG's ``y6`` or Nuclear's
+    ``UluN``."""
+    length = rng.randint(min_length, max_length)
+    alphabet = string.ascii_letters + string.digits
+    return "".join(rng.choice(alphabet) for _ in range(length))
+
+
+def random_hex_color(rng: random.Random) -> str:
+    """A CSS-style hex color like ``#333366`` (Nuclear uses these as eval
+    obfuscation infixes)."""
+    return "#" + "".join(rng.choice("0123456789ABCDEF") for _ in range(6))
+
+
+def random_crypt_key(rng: random.Random, length: int = 64) -> str:
+    """A Nuclear-style encryption key: a permutation-like string of printable
+    characters with no repeats, long enough to cover the payload alphabet."""
+    alphabet = list(string.ascii_letters + string.digits
+                    + "!#$%&()*+,-./:;<=>?@[]^_{|}~")
+    rng.shuffle(alphabet)
+    return "".join(alphabet[:length])
+
+
+def random_junk_string(rng: random.Random, length: int,
+                       alphabet: str = string.ascii_letters + string.digits) -> str:
+    """A fixed-length junk string (used as filler in Sweet Orange chunks)."""
+    return "".join(rng.choice(alphabet) for _ in range(length))
+
+
+def random_url(rng: random.Random, kit_name: str) -> str:
+    """A plausible exploit-kit landing/payload URL.
+
+    RIG's day-over-day churn in Figure 11(d) is dominated by embedded URL
+    changes, so these must actually vary per sample/day.
+    """
+    tlds = ["com", "net", "org", "info", "biz", "in", "ru", "eu"]
+    domain = random_junk_string(rng, rng.randint(8, 14),
+                                string.ascii_lowercase + string.digits)
+    path = random_junk_string(rng, rng.randint(6, 20),
+                              string.ascii_lowercase + string.digits)
+    query_key = random_junk_string(rng, rng.randint(2, 6),
+                                   string.ascii_lowercase)
+    query_value = random_junk_string(rng, rng.randint(16, 32),
+                                     string.ascii_letters + string.digits)
+    return (f"http://{domain}.{rng.choice(tlds)}/{path}.php"
+            f"?{query_key}={query_value}")
+
+
+def pick_variable_map(rng: random.Random, roles: Sequence[str]) -> dict:
+    """Map semantic roles (``buffer``, ``delim``...) to fresh random names."""
+    names = random_identifiers(rng, len(roles))
+    return dict(zip(roles, names))

@@ -1,0 +1,89 @@
+"""The Sweet Orange exploit kit model.
+
+Sweet Orange's packer (paper, Figure 10b) splits the payload into an array of
+string chunks polluted with a junk token, joins them, removes the junk with a
+``new RegExp(...)`` replace, and hides small integer constants behind
+``Math.sqrt`` calls (``Math.sqrt(196)`` instead of ``14``).  The function and
+junk token rotate between versions; variable names rotate per sample.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from typing import List
+
+from repro.ekgen.base import ExploitKit, KitVersion
+from repro.ekgen.identifiers import pick_variable_map, random_identifier, \
+    random_junk_string
+
+#: The word spelled by the charAt(Math.sqrt(...)) selector array; the packer
+#: uses it to reach window["eval"] without the literal name appearing.
+_SELECTOR_WORD = "eval"
+
+
+def insert_junk(text: str, junk: str, every: int) -> str:
+    """Insert the junk token into the text every ``every`` characters."""
+    if every <= 0:
+        raise ValueError("chunk size must be positive")
+    pieces = [text[i:i + every] for i in range(0, len(text), every)]
+    return junk.join(pieces)
+
+
+def remove_junk(text: str, junk: str) -> str:
+    """Inverse of :func:`insert_junk` (used by the Sweet Orange unpacker)."""
+    return text.replace(junk, "")
+
+
+class SweetOrangeKit(ExploitKit):
+    """Simulated Sweet Orange exploit kit."""
+
+    name = "sweetorange"
+
+    def pack(self, core: str, version: KitVersion, rng: random.Random) -> str:
+        params = version.packer_params
+        junk = str(params.get("junk_token", "WWWWWWWbEWsjdhfW"))
+        square = int(params.get("math_square", 196))
+        chunk_size = int(params.get("chunk_size", 48))
+        index = int(math.isqrt(square))
+
+        names = pick_variable_map(
+            rng, ["ok", "xx", "aa", "ar", "q", "result"])
+        function_name = random_identifier(rng, 6, 8)
+
+        # charAt(Math.sqrt(square)) selector strings: each junk string has one
+        # letter of the selector word planted at the obfuscated index.
+        selectors: List[str] = []
+        for letter in _SELECTOR_WORD:
+            filler = random_junk_string(rng, index + 3)
+            planted = filler[:index] + letter + filler[index + 1:]
+            selectors.append(
+                f'"{planted}".charAt(Math.sqrt({square}))')
+        selector_array = ",".join(selectors)
+
+        polluted = insert_junk(core, junk, chunk_size)
+        chunk_length = 32
+        chunks = [polluted[i:i + chunk_length]
+                  for i in range(0, len(polluted), chunk_length)]
+        chunk_literals = ",".join(json.dumps(chunk) for chunk in chunks)
+
+        script = f"""
+function {function_name}() {{
+  var {names['ok']} = [{selector_array}];
+  var {names['xx']} = [{chunk_literals}];
+  var {names['aa']} = {names['xx']}.join("");
+  var {names['ar']} = [["{junk}", "g"]];
+  for (var {names['q']} = 0; {names['q']} < {names['ar']}.length; {names['q']}++) {{
+    {names['aa']} = {names['aa']}.replace(new RegExp({names['ar']}[{names['q']}][0], {names['ar']}[{names['q']}][1]), "");
+  }}
+  var {names['result']} = [{names['ok']}.join(""), {names['aa']}];
+  return {names['result']};
+}}
+var payloadParts = {function_name}();
+window[payloadParts[0]](payloadParts[1]);
+"""
+        title = f"gallery {rng.randrange(10**6)}"
+        return (f"<html><head><title>{title}</title></head><body>\n"
+                f"<script type=\"text/javascript\">{script}</script>\n"
+                f"</body></html>")

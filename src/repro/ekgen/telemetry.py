@@ -1,0 +1,168 @@
+"""Daily grayware telemetry stream generator.
+
+Combines the four kit generators and the benign generator into dated batches
+that stand in for the paper's IE telemetry stream (80k-500k samples/day).
+Volumes are configurable; the defaults are scaled down by roughly three
+orders of magnitude while keeping the paper's relative prevalence from the
+Figure 14 ground truth (Angler ≫ Sweet Orange > Nuclear > RIG) so that the
+evaluation harness reproduces the same qualitative behaviour, including RIG
+being hard to track because of its low volume.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.ekgen.angler import AnglerKit
+from repro.ekgen.base import ExploitKit, GeneratedSample
+from repro.ekgen.benign import BenignGenerator
+from repro.ekgen.evolution import EvolutionTimeline, default_timeline
+from repro.ekgen.nuclear import NuclearKit
+from repro.ekgen.rig import RigKit
+from repro.ekgen.sweetorange import SweetOrangeKit
+
+
+@dataclass
+class StreamConfig:
+    """Volume knobs of the synthetic stream.
+
+    ``kit_daily_counts`` gives the mean number of samples per kit per day;
+    the actual count is drawn from a small window around the mean so days are
+    not identical.  The default ratios follow Figure 14's month totals
+    (Angler 40,026 / Sweet Orange 11,315 / Nuclear 6,106 / RIG 1,409).
+    """
+
+    benign_per_day: int = 60
+    kit_daily_counts: Dict[str, int] = field(default_factory=lambda: {
+        "angler": 26, "sweetorange": 8, "nuclear": 6, "rig": 4,
+    })
+    count_jitter: float = 0.3
+    #: On the day a kit's packer changes, only this fraction of the kit's
+    #: served samples already use the new version; the remainder still run
+    #: the previous configuration.  This gradual roll-out is what produced
+    #: the small same-day false-negative bumps the paper attributes to "new
+    #: variants ... not numerous enough ... to warrant a separate cluster"
+    #: (the Angler bump of August 13 in Figure 6).
+    transition_fraction: float = 0.35
+    seed: int = 20140801
+
+    def scaled(self, factor: float) -> "StreamConfig":
+        """A copy of the configuration with all volumes scaled."""
+        return StreamConfig(
+            benign_per_day=max(1, int(self.benign_per_day * factor)),
+            kit_daily_counts={kit: max(1, int(count * factor))
+                              for kit, count in self.kit_daily_counts.items()},
+            count_jitter=self.count_jitter,
+            transition_fraction=self.transition_fraction,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class DailyBatch:
+    """One day of telemetry."""
+
+    date: datetime.date
+    samples: List[GeneratedSample]
+
+    @property
+    def malicious(self) -> List[GeneratedSample]:
+        return [sample for sample in self.samples if sample.is_malicious]
+
+    @property
+    def benign(self) -> List[GeneratedSample]:
+        return [sample for sample in self.samples if not sample.is_malicious]
+
+    def by_kit(self) -> Dict[str, List[GeneratedSample]]:
+        groups: Dict[str, List[GeneratedSample]] = {}
+        for sample in self.malicious:
+            groups.setdefault(sample.kit, []).append(sample)
+        return groups
+
+
+class TelemetryGenerator:
+    """Generates dated batches of synthetic grayware."""
+
+    def __init__(self, config: Optional[StreamConfig] = None,
+                 timeline: Optional[EvolutionTimeline] = None) -> None:
+        self.config = config or StreamConfig()
+        self.timeline = timeline or default_timeline()
+        self.kits: Dict[str, ExploitKit] = {
+            "nuclear": NuclearKit(self.timeline),
+            "sweetorange": SweetOrangeKit(self.timeline),
+            "angler": AnglerKit(self.timeline),
+            "rig": RigKit(self.timeline),
+        }
+        self.benign = BenignGenerator()
+
+    # ------------------------------------------------------------------
+    def day_rng(self, date: datetime.date) -> random.Random:
+        """Deterministic RNG for one day of generation."""
+        return random.Random(f"{self.config.seed}-{date.isoformat()}")
+
+    def generate_day(self, date: datetime.date) -> DailyBatch:
+        """Generate the batch for one day."""
+        rng = self.day_rng(date)
+        samples: List[GeneratedSample] = []
+        for _ in range(self.config.benign_per_day):
+            samples.append(self.benign.generate(date, rng))
+        for kit_name, mean_count in sorted(self.config.kit_daily_counts.items()):
+            if kit_name not in self.kits:
+                raise KeyError(f"unknown kit in stream config: {kit_name!r}")
+            count = self._jittered_count(rng, mean_count)
+            kit = self.kits[kit_name]
+            previous_version = self._rollout_previous_version(kit_name, date)
+            for _ in range(count):
+                version = None
+                if previous_version is not None \
+                        and rng.random() >= self.config.transition_fraction:
+                    version = previous_version
+                samples.append(kit.generate(date, rng, version=version))
+        rng.shuffle(samples)
+        return DailyBatch(date=date, samples=samples)
+
+    def _rollout_previous_version(self, kit_name: str, date: datetime.date):
+        """The previous day's version when a packer change lands on ``date``.
+
+        Returns ``None`` when nothing changes on ``date`` (all samples use
+        the current version).
+        """
+        changes = self.timeline.packer_change_dates(kit_name, start=date,
+                                                    end=date)
+        if not changes:
+            return None
+        previous_day = date - datetime.timedelta(days=1)
+        return self.kits[kit_name].version_for(previous_day)
+
+    def generate_range(self, start: datetime.date,
+                       end: datetime.date) -> Iterator[DailyBatch]:
+        """Generate batches for every day in ``[start, end]`` inclusive."""
+        if end < start:
+            raise ValueError("end date must not precede start date")
+        current = start
+        one_day = datetime.timedelta(days=1)
+        while current <= end:
+            yield self.generate_day(current)
+            current += one_day
+
+    def reference_core(self, kit_name: str, date: datetime.date) -> str:
+        """The unpacked core of a kit on a given day.
+
+        Used to seed Kizzle's labeled corpus ("a set of existing unpacked
+        malware samples which correspond to exploit kits Kizzle is aiming to
+        detect") and by the Figure 11 similarity experiment.
+        """
+        kit = self.kits[kit_name]
+        return kit.core_source(kit.version_for(date))
+
+    # ------------------------------------------------------------------
+    def _jittered_count(self, rng: random.Random, mean_count: int) -> int:
+        if mean_count <= 0:
+            return 0
+        jitter = self.config.count_jitter
+        low = max(1, int(round(mean_count * (1 - jitter))))
+        high = max(low, int(round(mean_count * (1 + jitter))))
+        return rng.randint(low, high)

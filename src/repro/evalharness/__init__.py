@@ -1,0 +1,41 @@
+"""Evaluation harness: reproduces every table and figure of the paper's
+Section IV over the synthetic telemetry stream.
+
+The central entry point is :class:`~repro.evalharness.timeline.MonthExperiment`,
+which drives the month-long comparison of Kizzle against the simulated
+commercial AV (Figures 6, 12, 13 and 14).  The similarity-over-time study of
+Figure 11 lives in :mod:`repro.evalharness.similarity`, and
+:mod:`repro.evalharness.reporting` renders the text tables the benchmark
+suite prints.
+"""
+
+from repro.evalharness.groundtruth import GroundTruth
+from repro.evalharness.metrics import ConfusionCounts, DayMetrics, KitCounts
+from repro.evalharness.timeline import (
+    MonthExperiment,
+    ExperimentConfig,
+    MonthlyReport,
+    DayRecord,
+)
+from repro.evalharness.similarity import similarity_over_time, SimilaritySeries
+from repro.evalharness.reporting import (
+    format_table,
+    format_day_series,
+    format_absolute_counts,
+)
+
+__all__ = [
+    "GroundTruth",
+    "ConfusionCounts",
+    "DayMetrics",
+    "KitCounts",
+    "MonthExperiment",
+    "ExperimentConfig",
+    "MonthlyReport",
+    "DayRecord",
+    "similarity_over_time",
+    "SimilaritySeries",
+    "format_table",
+    "format_day_series",
+    "format_absolute_counts",
+]

@@ -1,0 +1,60 @@
+"""Ground truth bookkeeping.
+
+The paper approximates ground truth by manually validating the union of
+AV-detected and Kizzle-detected samples (about 7,000 files, 15 hours).  Our
+synthetic stream carries its labels, so ground truth is exact here; the class
+exists so the metrics layer works from one interface regardless of where the
+labels come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.ekgen.base import GeneratedSample
+
+
+@dataclass
+class GroundTruth:
+    """Maps sample ids to their true kit family (``None`` = benign)."""
+
+    labels: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[GeneratedSample]) -> "GroundTruth":
+        truth = cls()
+        truth.add_samples(samples)
+        return truth
+
+    def add_samples(self, samples: Iterable[GeneratedSample]) -> None:
+        for sample in samples:
+            self.labels[sample.sample_id] = sample.kit
+
+    def kit_of(self, sample_id: str) -> Optional[str]:
+        if sample_id not in self.labels:
+            raise KeyError(f"sample {sample_id!r} has no ground-truth label")
+        return self.labels[sample_id]
+
+    def is_malicious(self, sample_id: str) -> bool:
+        return self.kit_of(sample_id) is not None
+
+    def malicious_ids(self, kit: Optional[str] = None) -> List[str]:
+        return [sample_id for sample_id, label in self.labels.items()
+                if label is not None and (kit is None or label == kit)]
+
+    def benign_ids(self) -> List[str]:
+        return [sample_id for sample_id, label in self.labels.items()
+                if label is None]
+
+    def kit_totals(self) -> Dict[str, int]:
+        """Total malicious samples per kit (the "Ground truth" column of
+        Figure 14)."""
+        totals: Dict[str, int] = {}
+        for label in self.labels.values():
+            if label is not None:
+                totals[label] = totals.get(label, 0) + 1
+        return totals
+
+    def __len__(self) -> int:
+        return len(self.labels)

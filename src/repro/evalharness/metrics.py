@@ -1,0 +1,136 @@
+"""False-positive / false-negative accounting.
+
+The paper's accuracy metrics (Figures 13 and 14):
+
+* a *false negative* is a malicious sample the engine does not flag;
+* a *false positive* is a benign sample the engine flags; when an engine
+  attributes the match to a kit family, the FP is charged to that family
+  (that is how Figure 14 reports per-kit FP counts);
+* daily FN% is FN over the day's malicious samples, daily FP% is FP over the
+  day's benign samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Set
+
+
+@dataclass
+class ConfusionCounts:
+    """Plain confusion counts for one engine over one scope (day or month)."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    true_negatives: int = 0
+
+    @property
+    def malicious_total(self) -> int:
+        return self.true_positives + self.false_negatives
+
+    @property
+    def benign_total(self) -> int:
+        return self.false_positives + self.true_negatives
+
+    @property
+    def false_negative_rate(self) -> float:
+        total = self.malicious_total
+        return self.false_negatives / total if total else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        total = self.benign_total
+        return self.false_positives / total if total else 0.0
+
+    def merge(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            true_positives=self.true_positives + other.true_positives,
+            false_positives=self.false_positives + other.false_positives,
+            false_negatives=self.false_negatives + other.false_negatives,
+            true_negatives=self.true_negatives + other.true_negatives,
+        )
+
+
+@dataclass
+class KitCounts:
+    """Per-kit FP/FN counts for one engine (one row block of Figure 14)."""
+
+    ground_truth: Dict[str, int] = field(default_factory=dict)
+    false_positives: Dict[str, int] = field(default_factory=dict)
+    false_negatives: Dict[str, int] = field(default_factory=dict)
+
+    def add_ground_truth(self, kit: str, count: int = 1) -> None:
+        self.ground_truth[kit] = self.ground_truth.get(kit, 0) + count
+
+    def add_false_positive(self, kit: str, count: int = 1) -> None:
+        self.false_positives[kit] = self.false_positives.get(kit, 0) + count
+
+    def add_false_negative(self, kit: str, count: int = 1) -> None:
+        self.false_negatives[kit] = self.false_negatives.get(kit, 0) + count
+
+    def merge(self, other: "KitCounts") -> "KitCounts":
+        merged = KitCounts(ground_truth=dict(self.ground_truth),
+                           false_positives=dict(self.false_positives),
+                           false_negatives=dict(self.false_negatives))
+        for kit, count in other.ground_truth.items():
+            merged.add_ground_truth(kit, count)
+        for kit, count in other.false_positives.items():
+            merged.add_false_positive(kit, count)
+        for kit, count in other.false_negatives.items():
+            merged.add_false_negative(kit, count)
+        return merged
+
+    def totals(self) -> Dict[str, int]:
+        return {
+            "ground_truth": sum(self.ground_truth.values()),
+            "false_positives": sum(self.false_positives.values()),
+            "false_negatives": sum(self.false_negatives.values()),
+        }
+
+
+@dataclass
+class DayMetrics:
+    """One engine's metrics for one day."""
+
+    confusion: ConfusionCounts = field(default_factory=ConfusionCounts)
+    per_kit: KitCounts = field(default_factory=KitCounts)
+    per_kit_fn_rate: Dict[str, float] = field(default_factory=dict)
+
+
+def score_day(true_kits: Mapping[str, Optional[str]],
+              detections: Mapping[str, Set[str]]) -> DayMetrics:
+    """Score one engine over one day.
+
+    Parameters
+    ----------
+    true_kits:
+        sample id -> true kit (``None`` for benign).
+    detections:
+        sample id -> set of kit families the engine attributed to the sample
+        (empty set = not flagged).  Missing ids are treated as not flagged.
+    """
+    metrics = DayMetrics()
+    per_kit_totals: Dict[str, int] = {}
+    per_kit_misses: Dict[str, int] = {}
+    for sample_id, true_kit in true_kits.items():
+        flagged = detections.get(sample_id, set())
+        if true_kit is not None:
+            metrics.per_kit.add_ground_truth(true_kit)
+            per_kit_totals[true_kit] = per_kit_totals.get(true_kit, 0) + 1
+            if flagged:
+                metrics.confusion.true_positives += 1
+            else:
+                metrics.confusion.false_negatives += 1
+                metrics.per_kit.add_false_negative(true_kit)
+                per_kit_misses[true_kit] = per_kit_misses.get(true_kit, 0) + 1
+        else:
+            if flagged:
+                metrics.confusion.false_positives += 1
+                for kit in flagged:
+                    metrics.per_kit.add_false_positive(kit)
+            else:
+                metrics.confusion.true_negatives += 1
+    for kit, total in per_kit_totals.items():
+        metrics.per_kit_fn_rate[kit] = per_kit_misses.get(kit, 0) / total
+    return metrics

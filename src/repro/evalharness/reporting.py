@@ -1,0 +1,101 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep the formatting in one place so benches stay short.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.evalharness.metrics import KitCounts
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render a fixed-width text table."""
+    columns = len(headers)
+    widths = [len(str(header)) for header in headers]
+    normalized_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row width does not match header width")
+        cells = [_format_cell(cell) for cell in row]
+        normalized_rows.append(cells)
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(header).ljust(widths[index])
+                           for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[index] for index in range(columns)))
+    for cells in normalized_rows:
+        lines.append("  ".join(cells[index].ljust(widths[index])
+                               for index in range(columns)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}" if abs(cell) < 1 else f"{cell:.2f}"
+    return str(cell)
+
+
+def format_day_series(dates: Sequence[datetime.date],
+                      series: Mapping[str, Sequence[float]],
+                      title: Optional[str] = None,
+                      as_percent: bool = True) -> str:
+    """Render per-day series (e.g. FN% for Kizzle and AV) as a table."""
+    headers = ["date"] + list(series.keys())
+    rows = []
+    for index, date in enumerate(dates):
+        row: List[object] = [date.isoformat()]
+        for name in series:
+            value = series[name][index]
+            row.append(f"{value * 100:.2f}%" if as_percent else value)
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_absolute_counts(ground_truth_totals: Mapping[str, int],
+                           av: KitCounts, kizzle: KitCounts,
+                           kits: Optional[Sequence[str]] = None,
+                           title: str = "False positives and false negatives: "
+                                        "absolute counts (Figure 14)") -> str:
+    """Render the Figure 14 table."""
+    selected = list(kits) if kits else sorted(ground_truth_totals)
+    headers = ["EK", "Ground truth", "AV FP", "AV FN", "Kizzle FP", "Kizzle FN"]
+    rows: List[List[object]] = []
+    for kit in selected:
+        rows.append([
+            kit,
+            ground_truth_totals.get(kit, 0),
+            av.false_positives.get(kit, 0),
+            av.false_negatives.get(kit, 0),
+            kizzle.false_positives.get(kit, 0),
+            kizzle.false_negatives.get(kit, 0),
+        ])
+    rows.append([
+        "Sum",
+        sum(ground_truth_totals.get(kit, 0) for kit in selected),
+        sum(av.false_positives.get(kit, 0) for kit in selected),
+        sum(av.false_negatives.get(kit, 0) for kit in selected),
+        sum(kizzle.false_positives.get(kit, 0) for kit in selected),
+        sum(kizzle.false_negatives.get(kit, 0) for kit in selected),
+    ])
+    return format_table(headers, rows, title=title)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A crude ASCII sparkline for quick visual inspection in bench output."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    step = max(1, len(values) // width)
+    picked = values[::step]
+    return "".join(blocks[int((value - low) / span * (len(blocks) - 1))]
+                   for value in picked)

@@ -1,0 +1,47 @@
+"""JavaScript tokenization substrate.
+
+Kizzle abstracts every incoming JavaScript sample into a stream of abstract
+tokens (Keyword, Identifier, Punctuation, String, ...) before clustering, so
+that attacker-controlled noise such as randomized identifier names or string
+payload contents does not dominate the distance computation (paper, Section
+III-A and Figure 8).
+
+This package provides:
+
+* :class:`~repro.jstoken.tokens.Token` and
+  :class:`~repro.jstoken.tokens.TokenClass` -- the token model.
+* :class:`~repro.jstoken.lexer.Lexer` / :func:`~repro.jstoken.lexer.tokenize`
+  -- a from-scratch JavaScript lexer that understands comments, string
+  literals (single, double and template), numeric literals, regular
+  expression literals, and the full ECMAScript punctuator set.
+* :func:`~repro.jstoken.normalizer.abstract_token_string` -- converts a token
+  stream into the abstract token-class string used as clustering input.
+* :func:`~repro.jstoken.normalizer.strip_html` -- extracts inline script
+  bodies from an HTML document, since a Kizzle "sample" is a complete HTML
+  document including all inline script elements.
+"""
+
+from repro.jstoken.tokens import Token, TokenClass, KEYWORDS, PUNCTUATORS
+from repro.jstoken.lexer import Lexer, LexerError, tokenize
+from repro.jstoken.normalizer import (
+    abstract_token_string,
+    abstract_classes,
+    concrete_values,
+    strip_html,
+    tokenize_sample,
+)
+
+__all__ = [
+    "Token",
+    "TokenClass",
+    "KEYWORDS",
+    "PUNCTUATORS",
+    "Lexer",
+    "LexerError",
+    "tokenize",
+    "abstract_token_string",
+    "abstract_classes",
+    "concrete_values",
+    "strip_html",
+    "tokenize_sample",
+]

@@ -1,0 +1,109 @@
+"""Sample normalization: HTML script extraction and token abstraction.
+
+Kizzle samples are complete HTML documents including inline script elements
+(paper, Section III "Main driver").  Before clustering, each sample is reduced
+to an *abstract token string*: the sequence of token class names, which strips
+out attacker-randomized identifier names and string contents while preserving
+structure (Figure 8).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence, Tuple
+
+from repro.jstoken.lexer import tokenize
+from repro.jstoken.tokens import Token, TokenClass
+
+_SCRIPT_RE = re.compile(
+    r"<script\b[^>]*>(.*?)</script\s*>",
+    re.IGNORECASE | re.DOTALL,
+)
+_SRC_ATTR_RE = re.compile(r"\bsrc\s*=", re.IGNORECASE)
+_TAG_OPEN_RE = re.compile(r"<script\b[^>]*>", re.IGNORECASE)
+
+
+def strip_html(document: str) -> str:
+    """Extract and concatenate all inline script bodies of an HTML document.
+
+    If the document does not look like HTML (no ``<script>`` element), it is
+    returned unchanged and treated as raw JavaScript.  External scripts
+    (``<script src=...>``) contribute no body and are skipped.
+    """
+    if "<script" not in document.lower():
+        return document
+    bodies: List[str] = []
+    for match in _SCRIPT_RE.finditer(document):
+        opening_tag = _TAG_OPEN_RE.search(document, match.start(), match.end())
+        if opening_tag is not None and _SRC_ATTR_RE.search(opening_tag.group(0)):
+            # External script reference with an (unexpected) body; skip the
+            # body only if it is empty, otherwise keep the inline content.
+            if not match.group(1).strip():
+                continue
+        bodies.append(match.group(1))
+    if not bodies:
+        return ""
+    return "\n".join(bodies)
+
+
+def tokenize_sample(document: str) -> List[Token]:
+    """Tokenize a sample (HTML document or raw JS) into significant tokens."""
+    source = strip_html(document)
+    return [token for token in tokenize(source) if token.is_significant()]
+
+
+def abstract_classes(tokens: Sequence[Token],
+                     collapse: bool = True) -> Tuple[str, ...]:
+    """Map a token sequence to its abstract class-name sequence.
+
+    Parameters
+    ----------
+    tokens:
+        The concrete token sequence.
+    collapse:
+        When true (the default, matching the paper's Figure 8 classes),
+        ``Number``, ``Regex`` and ``Template`` tokens are folded into the
+        coarser classes the paper uses: numbers behave like strings for the
+        purposes of structural comparison, templates like strings, and regex
+        literals like strings.
+    """
+    names: List[str] = []
+    for token in tokens:
+        cls = token.cls
+        if collapse and cls in (TokenClass.NUMBER, TokenClass.REGEX,
+                                TokenClass.TEMPLATE):
+            cls = TokenClass.STRING
+        names.append(cls.value)
+    return tuple(names)
+
+
+def abstract_token_string(document: str, collapse: bool = True) -> Tuple[str, ...]:
+    """Tokenize a sample and return the abstract token string.
+
+    Keywords and punctuation keep their concrete spelling (``var`` and ``(``
+    carry structural information and cannot be attacker-randomized without
+    changing semantics); identifiers, strings and numbers are abstracted to
+    their class names.  This is the representation clustered by Kizzle.
+    """
+    tokens = tokenize_sample(document)
+    parts: List[str] = []
+    for token in tokens:
+        if token.cls in (TokenClass.KEYWORD, TokenClass.PUNCTUATION):
+            parts.append(token.value)
+        else:
+            cls = token.cls
+            if collapse and cls in (TokenClass.NUMBER, TokenClass.REGEX,
+                                    TokenClass.TEMPLATE):
+                cls = TokenClass.STRING
+            parts.append(cls.value)
+    return tuple(parts)
+
+
+def concrete_values(document: str) -> Tuple[str, ...]:
+    """Return the concrete source text of each significant token of a sample.
+
+    Used by the signature generator, which needs the concrete strings at each
+    token offset to decide between emitting a literal and a generalizing
+    regular expression (paper, Section III-C and Figure 9).
+    """
+    return tuple(token.value for token in tokenize_sample(document))

@@ -1,0 +1,12 @@
+"""Cluster labeling against a corpus of known unpacked exploit-kit samples
+(paper, Section III-B)."""
+
+from repro.labeling.corpus import KnownKitCorpus, CorpusEntry
+from repro.labeling.labeler import ClusterLabeler, ClusterLabel
+
+__all__ = [
+    "KnownKitCorpus",
+    "CorpusEntry",
+    "ClusterLabeler",
+    "ClusterLabel",
+]

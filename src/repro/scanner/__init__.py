@@ -1,0 +1,28 @@
+"""Signature scanning: normalization, the scan engine, and the simulated
+commercial AV baseline Kizzle is compared against."""
+
+from repro.scanner.normalizer import normalize_for_scan
+from repro.scanner.engine import ScanEngine, ScanResult, SignatureDatabase
+from repro.scanner.avbaseline import (
+    ManualSignatureRule,
+    SimulatedCommercialAV,
+    default_av_baseline,
+)
+from repro.scanner.hidden import (
+    HiddenSignature,
+    HiddenSignatureCompiler,
+    ServerSideScanner,
+)
+
+__all__ = [
+    "normalize_for_scan",
+    "ScanEngine",
+    "ScanResult",
+    "SignatureDatabase",
+    "ManualSignatureRule",
+    "SimulatedCommercialAV",
+    "default_av_baseline",
+    "HiddenSignature",
+    "HiddenSignatureCompiler",
+    "ServerSideScanner",
+]

@@ -1,0 +1,95 @@
+"""The signature scan engine.
+
+A :class:`SignatureDatabase` holds the currently deployed signatures (Kizzle
+adds new ones daily); a :class:`ScanEngine` normalizes samples and reports
+which signatures (and therefore which kit families) match.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.scanner.normalizer import normalize_for_scan
+from repro.signatures.signature import Signature
+
+
+@dataclass
+class ScanResult:
+    """Outcome of scanning one sample."""
+
+    sample_id: str
+    matched_signatures: List[Signature] = field(default_factory=list)
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.matched_signatures)
+
+    @property
+    def kits(self) -> Set[str]:
+        return {signature.kit for signature in self.matched_signatures}
+
+
+class SignatureDatabase:
+    """A dated collection of signatures.
+
+    Signatures carry their creation date, so the database can answer "what
+    was deployed on day D" — needed to evaluate detection as of a given day
+    and to plot signature lengths over time (Figure 12).
+    """
+
+    def __init__(self, signatures: Optional[Iterable[Signature]] = None) -> None:
+        self._signatures: List[Signature] = list(signatures or [])
+
+    def add(self, signature: Signature) -> None:
+        self._signatures.append(signature)
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __iter__(self):
+        return iter(self._signatures)
+
+    def signatures_for(self, kit: Optional[str] = None,
+                       as_of: Optional[datetime.date] = None) -> List[Signature]:
+        """Signatures filtered by kit and deployment date."""
+        selected = self._signatures
+        if kit is not None:
+            selected = [s for s in selected if s.kit == kit]
+        if as_of is not None:
+            selected = [s for s in selected if s.created <= as_of]
+        return list(selected)
+
+    def latest_for(self, kit: str,
+                   as_of: Optional[datetime.date] = None) -> Optional[Signature]:
+        """The most recently created signature for a kit."""
+        candidates = self.signatures_for(kit=kit, as_of=as_of)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda signature: signature.created)
+
+    def kits(self) -> Set[str]:
+        return {signature.kit for signature in self._signatures}
+
+
+class ScanEngine:
+    """Matches a signature database against samples."""
+
+    def __init__(self, database: SignatureDatabase) -> None:
+        self.database = database
+
+    def scan(self, sample_id: str, content: str,
+             as_of: Optional[datetime.date] = None) -> ScanResult:
+        """Scan one sample with the signatures deployed as of ``as_of``."""
+        normalized = normalize_for_scan(content)
+        matches = [signature
+                   for signature in self.database.signatures_for(as_of=as_of)
+                   if signature.matches(normalized)]
+        return ScanResult(sample_id=sample_id, matched_signatures=matches)
+
+    def scan_many(self, samples: Dict[str, str],
+                  as_of: Optional[datetime.date] = None) -> List[ScanResult]:
+        """Scan a batch given as a mapping of sample id to content."""
+        return [self.scan(sample_id, content, as_of=as_of)
+                for sample_id, content in samples.items()]

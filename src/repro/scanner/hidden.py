@@ -1,0 +1,145 @@
+"""Hidden server-side signatures (paper, Section V "Deployment and avoidance").
+
+Deployed AV signatures can be used as an oracle: the attacker keeps mutating
+the packer until the scanner stops flagging his kit.  The paper sketches a
+counter-measure it chose not to implement: *hidden* signatures that never
+leave the server and "match on specific strings contained in the inner layer"
+— the slowly-changing unpacked core — so the attacker has no feedback loop to
+optimize against.
+
+This module implements that extension:
+
+* :class:`HiddenSignature` is a set of inner-layer indicator strings (or
+  regexes) matched against the *unpacked* payload of a sample;
+* :class:`HiddenSignatureCompiler` derives indicators from known unpacked
+  cores by picking content snippets that are long, stable across the corpus
+  of one family, and absent from the benign reference set;
+* :class:`ServerSideScanner` combines an unpacker registry with a set of
+  hidden signatures, mirroring how the server-side deployment would run.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.unpack.registry import UnpackerRegistry, default_registry
+
+
+@dataclass
+class HiddenSignature:
+    """A server-side signature over the unpacked inner layer.
+
+    ``indicators`` are literal strings; a sample matches when at least
+    ``min_hits`` of them occur in its unpacked payload.  Requiring several
+    independent indicators keeps single shared helper functions (the Figure
+    15 situation) from triggering a match on benign code.
+    """
+
+    kit: str
+    indicators: List[str]
+    created: datetime.date
+    min_hits: int = 2
+
+    def hits(self, unpacked_text: str) -> int:
+        return sum(1 for indicator in self.indicators
+                   if indicator in unpacked_text)
+
+    def matches(self, unpacked_text: str) -> bool:
+        return self.hits(unpacked_text) >= self.min_hits
+
+
+@dataclass
+class HiddenSignatureCompiler:
+    """Derives hidden signatures from known unpacked kit cores.
+
+    Indicator candidates are source lines of the core that are long enough to
+    be distinctive, appear in every reference core of the family, and never
+    appear in the benign reference set.
+    """
+
+    min_line_length: int = 30
+    max_indicators: int = 8
+    min_hits: int = 2
+    benign_reference: List[str] = field(default_factory=list)
+
+    def add_benign_reference(self, texts: Iterable[str]) -> None:
+        self.benign_reference.extend(texts)
+
+    def compile_family(self, kit: str, unpacked_cores: Sequence[str],
+                       created: datetime.date) -> Optional[HiddenSignature]:
+        """Build one hidden signature for a family from its known cores."""
+        if not unpacked_cores:
+            return None
+        candidate_lines = self._candidate_lines(unpacked_cores[0])
+        stable = [line for line in candidate_lines
+                  if all(line in core for core in unpacked_cores[1:])]
+        clean = [line for line in stable if not self._appears_benign(line)]
+        if len(clean) < self.min_hits:
+            return None
+        # Prefer the longest (most distinctive) indicators, spread across the
+        # document rather than adjacent lines.
+        clean.sort(key=len, reverse=True)
+        selected: List[str] = []
+        for line in clean:
+            if len(selected) >= self.max_indicators:
+                break
+            if any(line in existing or existing in line
+                   for existing in selected):
+                continue
+            selected.append(line)
+        if len(selected) < self.min_hits:
+            return None
+        return HiddenSignature(kit=kit, indicators=selected, created=created,
+                               min_hits=self.min_hits)
+
+    def _candidate_lines(self, core: str) -> List[str]:
+        lines = []
+        for raw_line in core.splitlines():
+            line = raw_line.strip()
+            if len(line) < self.min_line_length:
+                continue
+            if line.startswith("//"):
+                continue
+            lines.append(line)
+        return lines
+
+    def _appears_benign(self, line: str) -> bool:
+        return any(line in text for text in self.benign_reference)
+
+
+class ServerSideScanner:
+    """Unpack-then-match scanner for hidden signatures.
+
+    The scanner never exposes the signatures themselves: callers submit a
+    sample and get back the verdict only, which is the whole point of the
+    hidden deployment (no oracle for the attacker).
+    """
+
+    def __init__(self, registry: Optional[UnpackerRegistry] = None) -> None:
+        self.registry = registry or default_registry()
+        self._signatures: List[HiddenSignature] = []
+
+    def add(self, signature: HiddenSignature) -> None:
+        self._signatures.append(signature)
+
+    def add_all(self, signatures: Iterable[HiddenSignature]) -> None:
+        for signature in signatures:
+            self.add(signature)
+
+    def signature_count(self) -> int:
+        return len(self._signatures)
+
+    def scan(self, content: str) -> Dict[str, object]:
+        """Scan a raw (packed) sample.
+
+        Returns a dictionary with ``detected``, the matching ``kits``, and
+        how many unpacking ``layers`` were removed — but not the indicators,
+        which stay server-side.
+        """
+        unpacked, applied = self.registry.unpack(content)
+        kits = sorted({signature.kit for signature in self._signatures
+                       if signature.matches(unpacked)})
+        return {"detected": bool(kits), "kits": kits, "layers": len(applied)}

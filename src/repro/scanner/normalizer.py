@@ -1,0 +1,41 @@
+"""AV-scanner text normalization.
+
+Anti-virus engines normalize scanned content before signature matching: the
+paper notes that quotation marks are removed automatically, and the example
+signatures of Figure 10 clearly match against whitespace-free text
+(``varaa=xx\\.join`` / ``returnaa``).  Kizzle signatures are generated against
+the same normal form, so both sides of the comparison use this module:
+
+* inline-script extraction from HTML,
+* comment removal,
+* whitespace removal between tokens,
+* string-literal quote removal.
+
+The implementation reuses the JavaScript lexer so that normalization is
+consistent with tokenization by construction.
+"""
+
+from __future__ import annotations
+
+from repro.jstoken.normalizer import tokenize_sample
+from repro.jstoken.tokens import TokenClass
+
+
+def normalize_for_scan(content: str) -> str:
+    """Normalize a raw sample for signature matching.
+
+    The sample's inline scripts are tokenized (dropping comments) and the
+    concrete token texts are concatenated without separators, with the quotes
+    of string/template literals removed.
+    """
+    parts = []
+    for token in tokenize_sample(content):
+        value = token.value
+        if token.cls is TokenClass.STRING and len(value) >= 2 \
+                and value[0] in "'\"" and value[-1] == value[0]:
+            value = value[1:-1]
+        elif token.cls is TokenClass.TEMPLATE and len(value) >= 2 \
+                and value[0] == "`" and value[-1] == "`":
+            value = value[1:-1]
+        parts.append(value)
+    return "".join(parts)

@@ -1,0 +1,45 @@
+"""Signature creation (paper, Section III-C).
+
+For each malicious cluster, Kizzle finds the longest token subsequence (up to
+200 tokens) common to and unique in every packed sample of the cluster,
+collects the concrete strings observed at each token offset, and generalizes
+offsets that vary across samples into regular-expression character classes
+drawn from a small template set.  The result is an AV-style regex signature
+that can be matched against scanner-normalized sample text.
+"""
+
+from repro.signatures.subsequence import (
+    common_token_window,
+    CommonWindow,
+)
+from repro.signatures.alignment import TokenColumn, align_cluster
+from repro.signatures.regexgen import (
+    REGEX_TEMPLATES,
+    generalize_column,
+    build_pattern,
+)
+from repro.signatures.signature import Signature
+from repro.signatures.compiler import SignatureCompiler, SignatureConfig
+from repro.signatures.multiwindow import (
+    MultiWindowCompiler,
+    MultiWindowConfig,
+    MultiWindowSignature,
+    common_token_windows,
+)
+
+__all__ = [
+    "common_token_window",
+    "CommonWindow",
+    "TokenColumn",
+    "align_cluster",
+    "REGEX_TEMPLATES",
+    "generalize_column",
+    "build_pattern",
+    "Signature",
+    "SignatureCompiler",
+    "SignatureConfig",
+    "MultiWindowCompiler",
+    "MultiWindowConfig",
+    "MultiWindowSignature",
+    "common_token_windows",
+]

@@ -1,0 +1,133 @@
+"""Finding the longest common unique token window across a cluster.
+
+The paper's algorithm: binary search over the window length ``N`` (capped at
+200 tokens), where a length is feasible if some consecutive token sequence of
+that length appears in *every* sample of the cluster and is *unique* within
+each sample (Section III-C).  The search is done over abstract token strings
+(class names plus concrete keywords/punctuation), since identifier spellings
+differ between samples.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Hard cap on the window length, from the paper.
+MAX_WINDOW_TOKENS = 200
+
+
+@dataclass
+class CommonWindow:
+    """A common unique token window.
+
+    Attributes
+    ----------
+    length:
+        Number of tokens in the window.
+    positions:
+        For each sample (in input order), the start offset of the window's
+        unique occurrence in that sample's token string.
+    window:
+        The abstract token sequence of the window itself.
+    """
+
+    length: int
+    positions: List[int]
+    window: Tuple[str, ...]
+
+
+def _ngram_positions(tokens: Sequence[str], length: int
+                     ) -> Dict[Tuple[str, ...], List[int]]:
+    """Positions of every n-gram of the given length in a token string."""
+    table: Dict[Tuple[str, ...], List[int]] = defaultdict(list)
+    for start in range(0, len(tokens) - length + 1):
+        table[tuple(tokens[start:start + length])].append(start)
+    return table
+
+
+def _find_window_of_length(token_strings: Sequence[Sequence[str]],
+                           length: int) -> Optional[CommonWindow]:
+    """A window of exactly ``length`` tokens common to and unique in every
+    sample, or ``None``.
+
+    Candidates are taken from the shortest sample (fewest n-grams) and
+    validated against all others.  When several windows qualify, the one
+    starting earliest in the first sample is chosen, which keeps signature
+    generation deterministic.
+    """
+    if length <= 0:
+        return None
+    if any(len(tokens) < length for tokens in token_strings):
+        return None
+
+    anchor_index = min(range(len(token_strings)),
+                       key=lambda index: len(token_strings[index]))
+    anchor_table = _ngram_positions(token_strings[anchor_index], length)
+    candidates = [window for window, positions in anchor_table.items()
+                  if len(positions) == 1]
+    if not candidates:
+        return None
+
+    tables = [_ngram_positions(tokens, length) if index != anchor_index
+              else anchor_table
+              for index, tokens in enumerate(token_strings)]
+
+    best: Optional[CommonWindow] = None
+    for window in candidates:
+        positions: List[int] = []
+        unique_everywhere = True
+        for table in tables:
+            occurrences = table.get(window)
+            if not occurrences or len(occurrences) != 1:
+                unique_everywhere = False
+                break
+            positions.append(occurrences[0])
+        if not unique_everywhere:
+            continue
+        candidate = CommonWindow(length=length, positions=positions,
+                                 window=window)
+        if best is None or candidate.positions[0] < best.positions[0]:
+            best = candidate
+    return best
+
+
+def common_token_window(token_strings: Sequence[Sequence[str]],
+                        max_tokens: int = MAX_WINDOW_TOKENS
+                        ) -> Optional[CommonWindow]:
+    """Longest common unique token window across all samples.
+
+    Binary search over the window length, as in the paper.  The feasibility
+    predicate is not perfectly monotone (a unique long window may exist while
+    some shorter length has every candidate duplicated), but in practice —
+    and in the paper's algorithm — the binary search converges on a good
+    window; we additionally fall back to a short linear probe below the
+    smallest infeasible length found.
+    """
+    if not token_strings:
+        return None
+    if any(len(tokens) == 0 for tokens in token_strings):
+        return None
+
+    upper_bound = min(max_tokens, min(len(tokens) for tokens in token_strings))
+    low, high = 1, upper_bound
+    best: Optional[CommonWindow] = None
+    while low <= high:
+        middle = (low + high) // 2
+        found = _find_window_of_length(token_strings, middle)
+        if found is not None:
+            best = found
+            low = middle + 1
+        else:
+            high = middle - 1
+
+    if best is None:
+        # Linear probe over small lengths in case the binary search was
+        # unlucky with non-monotonicity near the bottom.
+        for length in range(min(8, upper_bound), 0, -1):
+            found = _find_window_of_length(token_strings, length)
+            if found is not None:
+                return found
+        return None
+    return best

@@ -1,0 +1,29 @@
+"""Per-kit unpackers.
+
+The paper unpacks each cluster's prototype before labeling it.  Rather than
+hooking a JavaScript engine's ``eval`` loop, the authors "implemented
+unpackers for all kits under investigation" (Section III-A) — we do exactly
+the same: each unpacker statically recognizes its kit's packer idiom in the
+packed sample and reverses it.  A registry tries every unpacker in turn and a
+driver iterates until no unpacker applies (kits sometimes pack in multiple
+layers).
+"""
+
+from repro.unpack.base import Unpacker, UnpackError
+from repro.unpack.rig import RigUnpacker
+from repro.unpack.nuclear import NuclearUnpacker
+from repro.unpack.angler import AnglerUnpacker
+from repro.unpack.sweetorange import SweetOrangeUnpacker
+from repro.unpack.registry import UnpackerRegistry, default_registry, unpack_sample
+
+__all__ = [
+    "Unpacker",
+    "UnpackError",
+    "RigUnpacker",
+    "NuclearUnpacker",
+    "AnglerUnpacker",
+    "SweetOrangeUnpacker",
+    "UnpackerRegistry",
+    "default_registry",
+    "unpack_sample",
+]

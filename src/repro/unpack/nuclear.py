@@ -1,0 +1,70 @@
+"""Unpacker for the Nuclear encrypted-payload packer (paper, Figure 4b).
+
+The packer carries two long string literals — the digit payload and the
+encryption key — plus a decryption loop.  The unpacker locates them (payload:
+the long all-digit literal; key: the long literal referenced by the
+``charCodeAt`` accumulation loop) and applies the inverse transformation from
+:mod:`repro.ekgen.nuclear`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ekgen.nuclear import decrypt_payload
+from repro.unpack.base import Unpacker, UnpackError
+
+_STRING_ASSIGN_RE = re.compile(r'var\s+([A-Za-z_$][\w$]*)\s*=\s*"([^"]*)"\s*;')
+_DIGITS_RE = re.compile(r'^[0-9]{30,}$')
+
+
+class NuclearUnpacker(Unpacker):
+    """Reverses the Nuclear digit-payload packer."""
+
+    kit = "nuclear"
+
+    def recognizes(self, content: str) -> bool:
+        script = self.script_of(content)
+        if "charCodeAt" not in script or "fromCharCode" not in script:
+            return False
+        if "getter" not in script:
+            return False
+        return self._find_payload(script) is not None
+
+    def unpack(self, content: str) -> str:
+        script = self.script_of(content)
+        payload = self._find_payload(script)
+        if payload is None:
+            raise UnpackError("no digit payload literal found")
+        key = self._find_key(script, payload)
+        if key is None:
+            raise UnpackError("no encryption key literal found")
+        try:
+            return decrypt_payload(payload, key)
+        except ValueError as exc:
+            raise UnpackError(str(exc)) from exc
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _find_payload(script: str):
+        """The longest all-digit string literal (the encrypted payload)."""
+        candidates = [value for _name, value in _STRING_ASSIGN_RE.findall(script)
+                      if _DIGITS_RE.match(value)]
+        if not candidates:
+            return None
+        return max(candidates, key=len)
+
+    @staticmethod
+    def _find_key(script: str, payload: str):
+        """The encryption key: the longest non-digit string literal whose
+        variable is used in a ``charCodeAt`` accumulation."""
+        assignments = _STRING_ASSIGN_RE.findall(script)
+        best = None
+        for name, value in assignments:
+            if value == payload or _DIGITS_RE.match(value):
+                continue
+            if f"{name}.charCodeAt(" not in script:
+                continue
+            if best is None or len(value) > len(best):
+                best = value
+        return best

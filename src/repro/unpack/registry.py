@@ -1,0 +1,66 @@
+"""Unpacker registry and the multi-layer unpacking driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.unpack.angler import AnglerUnpacker
+from repro.unpack.base import Unpacker
+from repro.unpack.nuclear import NuclearUnpacker
+from repro.unpack.rig import RigUnpacker
+from repro.unpack.sweetorange import SweetOrangeUnpacker
+
+
+@dataclass
+class UnpackerRegistry:
+    """Ordered collection of unpackers.
+
+    ``unpack`` walks the packed sample through as many layers as the
+    registered unpackers recognize — exploit kits occasionally pack twice,
+    and the onion metaphor of the paper explicitly allows multiple layers.
+    """
+
+    unpackers: List[Unpacker] = field(default_factory=list)
+    max_layers: int = 4
+
+    def register(self, unpacker: Unpacker) -> None:
+        self.unpackers.append(unpacker)
+
+    def unpack(self, content: str) -> Tuple[str, List[str]]:
+        """Unpack as many layers as possible.
+
+        Returns ``(innermost_payload, applied_unpacker_kits)``.  If nothing
+        recognizes the sample, the original content is returned with an empty
+        list — the sample is simply "not packed" as far as Kizzle can tell.
+        """
+        current = content
+        applied: List[str] = []
+        for _layer in range(self.max_layers):
+            next_payload: Optional[str] = None
+            for unpacker in self.unpackers:
+                payload = unpacker.try_unpack(current)
+                if payload is not None:
+                    next_payload = payload
+                    applied.append(unpacker.kit)
+                    break
+            if next_payload is None:
+                break
+            current = next_payload
+        return current, applied
+
+
+def default_registry() -> UnpackerRegistry:
+    """Registry with the four kit unpackers the paper implements."""
+    registry = UnpackerRegistry()
+    registry.register(RigUnpacker())
+    registry.register(NuclearUnpacker())
+    registry.register(AnglerUnpacker())
+    registry.register(SweetOrangeUnpacker())
+    return registry
+
+
+def unpack_sample(content: str) -> str:
+    """Convenience: fully unpack one sample with the default registry."""
+    payload, _applied = default_registry().unpack(content)
+    return payload

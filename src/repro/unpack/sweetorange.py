@@ -1,0 +1,108 @@
+"""Unpacker for the Sweet Orange chunk-array/junk-token packer (Figure 10b).
+
+The packer stores the payload as an array of JSON-style string chunks with a
+junk token interleaved, joins them and strips the junk with a ``new RegExp``
+replace.  The unpacker finds the chunk array (the array literal that is
+``join``-ed), decodes the string literals, joins them and removes the junk
+token found in the ``new RegExp([["...", "g"]])`` table.
+
+The chunk strings may themselves contain brackets and escaped quotes (they
+carry arbitrary JavaScript), so the array body is extracted with a small
+bracket-matching scanner that is string-literal aware rather than with a
+regular expression.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import List, Optional
+
+from repro.ekgen.sweetorange import remove_junk
+from repro.unpack.base import Unpacker, UnpackError
+
+_STRING_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+_JUNK_TABLE_RE = re.compile(
+    r'\[\s*\[\s*"((?:[^"\\]|\\.)+)"\s*,\s*"g"\s*\]\s*\]')
+_MATH_SQRT_RE = re.compile(r'Math\.sqrt\(\s*\d+\s*\)')
+
+
+class SweetOrangeUnpacker(Unpacker):
+    """Reverses the Sweet Orange chunk/junk packer."""
+
+    kit = "sweetorange"
+
+    def recognizes(self, content: str) -> bool:
+        script = self.script_of(content)
+        return ("new RegExp(" in script
+                and ".join(" in script
+                and bool(_MATH_SQRT_RE.search(script))
+                and bool(_JUNK_TABLE_RE.search(script)))
+
+    def unpack(self, content: str) -> str:
+        script = self.script_of(content)
+        junk_match = _JUNK_TABLE_RE.search(script)
+        if not junk_match:
+            raise UnpackError("no junk-token table found")
+        junk = junk_match.group(1)
+
+        array_variable = self._joined_array_variable(script)
+        if array_variable is None:
+            raise UnpackError("no join()-ed array found")
+        body = self._array_body(script, array_variable)
+        if body is None:
+            raise UnpackError(f"could not extract the {array_variable} array body")
+        literals = _STRING_LITERAL_RE.findall(body)
+        if not literals:
+            raise UnpackError("chunk array contains no string literals")
+        try:
+            decoded = "".join(json.loads(f'"{literal}"') for literal in literals)
+        except json.JSONDecodeError as exc:
+            raise UnpackError(f"malformed chunk literal: {exc}") from exc
+        return remove_junk(decoded, junk)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _joined_array_variable(script: str) -> Optional[str]:
+        """The variable name of the first array that gets ``join("")``-ed and
+        is declared as an array literal (skips selector arrays of calls)."""
+        candidates: List[str] = re.findall(
+            r'([A-Za-z_$][\w$]*)\.join\(\s*""\s*\)', script)
+        for name in candidates:
+            if re.search(rf'var\s+{re.escape(name)}\s*=\s*\[\s*"', script):
+                return name
+        return candidates[0] if candidates else None
+
+    @staticmethod
+    def _array_body(script: str, variable: str) -> Optional[str]:
+        """Extract the balanced ``[...]`` body of ``var <variable> = [...]``.
+
+        The scanner tracks string literals and escapes so brackets inside the
+        chunk strings do not terminate the array early.
+        """
+        declaration = re.search(rf'var\s+{re.escape(variable)}\s*=\s*\[', script)
+        if not declaration:
+            return None
+        start = declaration.end()  # position just after the opening '['
+        depth = 1
+        in_string = False
+        escaped = False
+        for position in range(start, len(script)):
+            char = script[position]
+            if in_string:
+                if escaped:
+                    escaped = False
+                elif char == "\\":
+                    escaped = True
+                elif char == '"':
+                    in_string = False
+                continue
+            if char == '"':
+                in_string = True
+            elif char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+                if depth == 0:
+                    return script[start:position]
+        return None

@@ -1,0 +1,27 @@
+"""Winnowing document fingerprinting (Schleimer, Wilkerson, Aiken 2003).
+
+Kizzle labels clusters by comparing the winnow fingerprint histogram of each
+cluster's unpacked prototype against the histograms of known unpacked exploit
+kit samples (paper, Section III-B).  The paper also uses the same machinery to
+measure day-over-day similarity of unpacked kit cores (Figure 11).
+"""
+
+from repro.winnowing.fingerprint import (
+    kgrams,
+    kgram_hashes,
+    winnow,
+    Fingerprint,
+)
+from repro.winnowing.histogram import WinnowHistogram
+from repro.winnowing.similarity import overlap, containment, jaccard
+
+__all__ = [
+    "kgrams",
+    "kgram_hashes",
+    "winnow",
+    "Fingerprint",
+    "WinnowHistogram",
+    "overlap",
+    "containment",
+    "jaccard",
+]

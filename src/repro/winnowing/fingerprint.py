@@ -1,0 +1,150 @@
+"""k-gram hashing and the winnowing selection algorithm.
+
+Winnowing (Schleimer et al., SIGMOD 2003) fingerprints a document by hashing
+all k-grams and, within every window of ``w`` consecutive k-gram hashes,
+selecting the minimum hash (rightmost occurrence on ties).  The guarantee is
+that any shared substring of length at least ``w + k - 1`` produces at least
+one shared fingerprint, while the expected density of selected hashes is
+``2 / (w + 1)``.
+
+We fingerprint the *normalized text* of unpacked samples: whitespace is
+removed and the text is lower-cased, which mirrors how plagiarism detectors
+neutralize layout noise and how the paper's Figure 15 false positive shows
+overlap being computed on code text.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+DEFAULT_K = 8
+DEFAULT_WINDOW = 12
+
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def normalize_text(text: str) -> str:
+    """Normalize text before fingerprinting: drop whitespace, lower-case."""
+    return _WHITESPACE_RE.sub("", text).lower()
+
+
+def kgrams(text: str, k: int = DEFAULT_K) -> Iterator[str]:
+    """Yield all k-grams of ``text`` (after normalization by the caller)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    for index in range(0, max(0, len(text) - k + 1)):
+        yield text[index:index + k]
+
+
+def _hash_kgram(gram: str) -> int:
+    """Stable 64-bit hash of a k-gram.
+
+    ``hash()`` is randomized per process, which would make fingerprints
+    non-reproducible across runs, so we use blake2b truncated to 8 bytes.
+    """
+    digest = hashlib.blake2b(gram.encode("utf-8", "replace"),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def kgram_hashes(text: str, k: int = DEFAULT_K) -> List[int]:
+    """Hash every k-gram of the (already normalized) text."""
+    return [_hash_kgram(gram) for gram in kgrams(text, k)]
+
+
+def winnow(hashes: Sequence[int], window: int = DEFAULT_WINDOW) -> List[Tuple[int, int]]:
+    """Select fingerprints from a hash sequence using winnowing.
+
+    Returns ``(hash, position)`` pairs.  Within each window the minimum hash
+    is selected; when the same minimum persists across consecutive windows it
+    is only recorded once (the standard "record rightmost minimum only when
+    it changes" rule).
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if not hashes:
+        return []
+    if len(hashes) <= window:
+        # Degenerate short document: record the single global minimum.
+        min_value = min(hashes)
+        # rightmost occurrence of the minimum
+        position = len(hashes) - 1 - hashes[::-1].index(min_value)
+        return [(min_value, position)]
+
+    selected: List[Tuple[int, int]] = []
+    last_recorded_position = -1
+    for start in range(0, len(hashes) - window + 1):
+        window_slice = hashes[start:start + window]
+        min_value = min(window_slice)
+        # rightmost occurrence inside the window
+        offset = window - 1 - window_slice[::-1].index(min_value)
+        position = start + offset
+        if position != last_recorded_position:
+            selected.append((min_value, position))
+            last_recorded_position = position
+    return selected
+
+
+@dataclass
+class Fingerprint:
+    """A winnow fingerprint of a single document.
+
+    Attributes
+    ----------
+    hashes:
+        Multiset of selected fingerprint hashes as a ``hash -> count`` map.
+    k, window:
+        The parameters used to compute the fingerprint; similarity between
+        fingerprints computed with different parameters is rejected.
+    size:
+        Total number of selected fingerprints (with multiplicity).
+    """
+
+    hashes: Dict[int, int] = field(default_factory=dict)
+    k: int = DEFAULT_K
+    window: int = DEFAULT_WINDOW
+
+    @property
+    def size(self) -> int:
+        return sum(self.hashes.values())
+
+    @classmethod
+    def of(cls, text: str, k: int = DEFAULT_K,
+           window: int = DEFAULT_WINDOW) -> "Fingerprint":
+        """Fingerprint a document (text is normalized internally)."""
+        normalized = normalize_text(text)
+        selected = winnow(kgram_hashes(normalized, k), window)
+        counts: Dict[int, int] = {}
+        for value, _position in selected:
+            counts[value] = counts.get(value, 0) + 1
+        return cls(hashes=counts, k=k, window=window)
+
+    def merge(self, other: "Fingerprint") -> "Fingerprint":
+        """Combine two fingerprints (used to build family reference sets)."""
+        self._check_compatible(other)
+        merged = dict(self.hashes)
+        for value, count in other.hashes.items():
+            merged[value] = merged.get(value, 0) + count
+        return Fingerprint(hashes=merged, k=self.k, window=self.window)
+
+    def intersection_size(self, other: "Fingerprint") -> int:
+        """Size of the multiset intersection of two fingerprints."""
+        self._check_compatible(other)
+        smaller, larger = (self, other) if len(self.hashes) <= len(other.hashes) \
+            else (other, self)
+        total = 0
+        for value, count in smaller.hashes.items():
+            other_count = larger.hashes.get(value, 0)
+            if other_count:
+                total += min(count, other_count)
+        return total
+
+    def _check_compatible(self, other: "Fingerprint") -> None:
+        if self.k != other.k or self.window != other.window:
+            raise ValueError(
+                "cannot compare fingerprints with different parameters: "
+                f"(k={self.k}, w={self.window}) vs (k={other.k}, w={other.window})"
+            )

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(arguments):
+    buffer = io.StringIO()
+    code = main(arguments, out=buffer)
+    return code, buffer.getvalue()
+
+
+SMALL_STREAM = ["--benign", "8", "--angler", "5", "--nuclear", "3",
+                "--sweetorange", "3", "--rig", "2", "--machines", "4"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["process-day"])
+        assert args.benign == 30
+        assert args.machines == 10
+        assert args.date.isoformat() == "2014-08-05"
+
+    def test_date_parsing(self):
+        args = build_parser().parse_args(["process-day", "--date",
+                                          "2014-08-20"])
+        assert args.date.isoformat() == "2014-08-20"
+
+    def test_invalid_date_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["process-day", "--date", "yesterday"])
+
+
+class TestCommands:
+    def test_process_day(self):
+        code, output = run_cli(SMALL_STREAM + ["process-day",
+                                               "--date", "2014-08-05"])
+        assert code == 0
+        assert "clusters" in output
+        assert "cluster size=" in output
+
+    def test_scan(self):
+        code, output = run_cli(SMALL_STREAM + ["scan",
+                                               "--train-date", "2014-08-05",
+                                               "--scan-date", "2014-08-06"])
+        assert code == 0
+        assert "(Kizzle)" in output and "(AV)" in output
+        assert "benign false positives" in output
+
+    def test_evaluate_two_days(self):
+        code, output = run_cli(SMALL_STREAM + ["evaluate", "--days", "2"])
+        assert code == 0
+        assert "False negatives per day" in output
+        assert "Kizzle FP" in output

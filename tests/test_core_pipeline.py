@@ -1,0 +1,150 @@
+"""Integration tests for the Kizzle daily pipeline."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro import Kizzle, KizzleConfig
+from repro.ekgen import StreamConfig, TelemetryGenerator
+
+D = datetime.date
+
+
+@pytest.fixture(scope="module")
+def pipeline_setup():
+    """A seeded Kizzle instance plus a small generator (module-scoped: the
+    pipeline run is the expensive part of these tests)."""
+    generator = TelemetryGenerator(StreamConfig(
+        benign_per_day=18,
+        kit_daily_counts={"angler": 8, "nuclear": 4, "sweetorange": 5,
+                          "rig": 3},
+        seed=77,
+    ))
+    kizzle = Kizzle(KizzleConfig(machines=8, min_points=3, seed=1))
+    for kit in ("nuclear", "angler", "rig", "sweetorange"):
+        cores = [generator.reference_core(kit, D(2014, 7, 31) - datetime.timedelta(days=i))
+                 for i in range(3)]
+        kizzle.seed_known_kit(kit, cores)
+    day = D(2014, 8, 5)
+    batch = generator.generate_day(day)
+    result = kizzle.process_day(
+        [(s.sample_id, s.content) for s in batch.samples], day)
+    return generator, kizzle, batch, result
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = KizzleConfig()
+        assert config.epsilon == 0.10
+        assert config.machines == 50
+        assert config.signature.max_window_tokens == 200
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            KizzleConfig(epsilon=0.0)
+        with pytest.raises(ValueError):
+            KizzleConfig(epsilon=1.5)
+
+    def test_invalid_min_points(self):
+        with pytest.raises(ValueError):
+            KizzleConfig(min_points=0)
+
+    def test_invalid_machines(self):
+        with pytest.raises(ValueError):
+            KizzleConfig(machines=0)
+
+
+class TestDailyRun:
+    def test_clusters_found(self, pipeline_setup):
+        _generator, _kizzle, batch, result = pipeline_setup
+        assert result.sample_count == len(batch.samples)
+        assert result.cluster_count >= 4
+        assert result.noise_count < len(batch.samples) // 2
+
+    def test_malicious_clusters_labeled(self, pipeline_setup):
+        _generator, _kizzle, _batch, result = pipeline_setup
+        labeled_kits = set(result.clusters_by_kit())
+        assert "angler" in labeled_kits
+        assert "sweetorange" in labeled_kits
+
+    def test_benign_clusters_not_labeled(self, pipeline_setup):
+        _generator, _kizzle, _batch, result = pipeline_setup
+        assert len(result.benign_clusters) >= 2
+        for report in result.benign_clusters:
+            assert report.signature is None
+
+    def test_signatures_generated_for_malicious_clusters(self, pipeline_setup):
+        _generator, _kizzle, _batch, result = pipeline_setup
+        assert result.new_signatures
+        for signature in result.new_signatures:
+            assert signature.kit in {"angler", "nuclear", "rig", "sweetorange"}
+            assert signature.token_length >= 10
+
+    def test_generated_signatures_detect_same_day_samples(self, pipeline_setup):
+        _generator, kizzle, batch, result = pipeline_setup
+        covered_kits = {signature.kit for signature in kizzle.database}
+        detected = 0
+        total = 0
+        for sample in batch.malicious:
+            if sample.kit not in covered_kits:
+                continue
+            total += 1
+            if kizzle.detects(sample.content):
+                detected += 1
+        assert total > 0
+        assert detected / total > 0.8
+
+    def test_no_false_positives_on_benign(self, pipeline_setup):
+        _generator, kizzle, batch, _result = pipeline_setup
+        false_positives = [s for s in batch.benign if kizzle.detects(s.content)]
+        assert len(false_positives) <= 1
+
+    def test_timing_report_attached(self, pipeline_setup):
+        _generator, _kizzle, _batch, result = pipeline_setup
+        assert result.timing is not None
+        assert result.timing.total_time > 0
+        assert result.summary()["clusters"] == result.cluster_count
+
+    def test_corpus_grows_with_tracked_kits(self, pipeline_setup):
+        _generator, kizzle, _batch, result = pipeline_setup
+        assert len(kizzle.corpus) >= 12 + len(result.new_signatures)
+
+    def test_scan_engine_view(self, pipeline_setup):
+        _generator, kizzle, batch, _result = pipeline_setup
+        engine = kizzle.scan_engine()
+        malicious = batch.malicious[0]
+        result = engine.scan(malicious.sample_id, malicious.content)
+        assert isinstance(result.detected, bool)
+
+    def test_second_day_reuses_signatures_when_kit_unchanged(self):
+        """Running two consecutive quiet days should not re-issue signatures
+        for a kit whose packer did not change (Figure 12 stays flat)."""
+        generator = TelemetryGenerator(StreamConfig(
+            benign_per_day=4,
+            kit_daily_counts={"angler": 6}, seed=5))
+        kizzle = Kizzle(KizzleConfig(machines=4, min_points=3))
+        kizzle.seed_known_kit("angler",
+                              [generator.reference_core("angler", D(2014, 8, 1))])
+        for day in (D(2014, 8, 2), D(2014, 8, 3)):
+            batch = generator.generate_day(day)
+            kizzle.process_day([(s.sample_id, s.content) for s in batch.samples],
+                               day)
+        angler_signatures = kizzle.database.signatures_for(kit="angler")
+        assert len(angler_signatures) == 1
+
+    def test_new_signature_issued_when_packer_changes(self):
+        """Across the Angler August 13 change a second signature appears."""
+        generator = TelemetryGenerator(StreamConfig(
+            benign_per_day=4, kit_daily_counts={"angler": 6},
+            transition_fraction=1.0, seed=6))
+        kizzle = Kizzle(KizzleConfig(machines=4, min_points=3))
+        kizzle.seed_known_kit("angler",
+                              [generator.reference_core("angler", D(2014, 8, 10))])
+        for day in (D(2014, 8, 12), D(2014, 8, 13)):
+            batch = generator.generate_day(day)
+            kizzle.process_day([(s.sample_id, s.content) for s in batch.samples],
+                               day)
+        angler_signatures = kizzle.database.signatures_for(kit="angler")
+        assert len(angler_signatures) == 2

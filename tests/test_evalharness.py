@@ -1,0 +1,204 @@
+"""Tests for the evaluation harness (metrics, ground truth, experiment)."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.core.config import KizzleConfig
+from repro.ekgen import StreamConfig, TelemetryGenerator
+from repro.ekgen.base import GeneratedSample
+from repro.evalharness import (
+    ConfusionCounts,
+    ExperimentConfig,
+    GroundTruth,
+    KitCounts,
+    MonthExperiment,
+    format_absolute_counts,
+    format_day_series,
+    format_table,
+    similarity_over_time,
+)
+from repro.evalharness.metrics import score_day
+from repro.evalharness.reporting import sparkline
+from repro.evalharness.similarity import similarity_all_kits
+
+D = datetime.date
+
+
+def sample(sample_id, kit=None):
+    return GeneratedSample(sample_id=sample_id, content="", kit=kit,
+                           date=D(2014, 8, 1))
+
+
+class TestGroundTruth:
+    def test_from_samples(self):
+        truth = GroundTruth.from_samples([sample("a", "rig"), sample("b")])
+        assert truth.is_malicious("a")
+        assert not truth.is_malicious("b")
+        assert truth.kit_of("a") == "rig"
+        assert len(truth) == 2
+
+    def test_unknown_sample(self):
+        with pytest.raises(KeyError):
+            GroundTruth().kit_of("missing")
+
+    def test_id_listings(self):
+        truth = GroundTruth.from_samples(
+            [sample("a", "rig"), sample("b", "angler"), sample("c")])
+        assert truth.malicious_ids() == ["a", "b"]
+        assert truth.malicious_ids(kit="rig") == ["a"]
+        assert truth.benign_ids() == ["c"]
+        assert truth.kit_totals() == {"rig": 1, "angler": 1}
+
+
+class TestMetrics:
+    def test_confusion_rates(self):
+        counts = ConfusionCounts(true_positives=90, false_negatives=10,
+                                 false_positives=2, true_negatives=998)
+        assert counts.false_negative_rate == pytest.approx(0.10)
+        assert counts.false_positive_rate == pytest.approx(0.002)
+
+    def test_confusion_rates_empty(self):
+        counts = ConfusionCounts()
+        assert counts.false_negative_rate == 0.0
+        assert counts.false_positive_rate == 0.0
+
+    def test_confusion_merge(self):
+        merged = ConfusionCounts(true_positives=1).merge(
+            ConfusionCounts(true_positives=2, false_negatives=3))
+        assert merged.true_positives == 3
+        assert merged.false_negatives == 3
+
+    def test_kit_counts_merge_and_totals(self):
+        a = KitCounts()
+        a.add_ground_truth("rig", 5)
+        a.add_false_negative("rig", 2)
+        b = KitCounts()
+        b.add_ground_truth("rig", 3)
+        b.add_false_positive("angler", 1)
+        merged = a.merge(b)
+        assert merged.ground_truth["rig"] == 8
+        assert merged.totals() == {"ground_truth": 8, "false_positives": 1,
+                                   "false_negatives": 2}
+
+    def test_score_day(self):
+        truth = {"m1": "rig", "m2": "rig", "m3": "angler", "b1": None,
+                 "b2": None}
+        detections = {"m1": {"rig"}, "m2": set(), "m3": {"angler"},
+                      "b1": {"nuclear"}, "b2": set()}
+        metrics = score_day(truth, detections)
+        assert metrics.confusion.true_positives == 2
+        assert metrics.confusion.false_negatives == 1
+        assert metrics.confusion.false_positives == 1
+        assert metrics.confusion.true_negatives == 1
+        assert metrics.per_kit.false_negatives == {"rig": 1}
+        assert metrics.per_kit.false_positives == {"nuclear": 1}
+        assert metrics.per_kit_fn_rate["rig"] == pytest.approx(0.5)
+        assert metrics.per_kit_fn_rate["angler"] == 0.0
+
+    def test_score_day_missing_detection_entry(self):
+        metrics = score_day({"m1": "rig"}, {})
+        assert metrics.confusion.false_negatives == 1
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]], title="T")
+        assert "T" in text and "a" in text and "3" in text
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_day_series(self):
+        text = format_day_series([D(2014, 8, 1)], {"kizzle": [0.05],
+                                                   "av": [0.2]})
+        assert "5.00%" in text and "20.00%" in text
+
+    def test_format_absolute_counts(self):
+        av, kizzle = KitCounts(), KitCounts()
+        av.add_false_negative("rig", 3)
+        kizzle.add_false_positive("rig", 1)
+        text = format_absolute_counts({"rig": 10}, av, kizzle)
+        assert "rig" in text and "Sum" in text
+
+    def test_sparkline(self):
+        assert sparkline([]) == ""
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+
+
+class TestSimilarityExperiment:
+    def test_stable_kits_have_high_similarity(self, small_generator):
+        series = similarity_over_time(small_generator, "nuclear",
+                                      D(2014, 8, 2), D(2014, 8, 8))
+        assert len(series.similarity) == 7
+        assert series.minimum() > 0.9
+
+    def test_rig_is_the_outlier(self, small_generator):
+        """Figure 11(d): RIG's day-over-day similarity is far below the other
+        kits because of its URL churn."""
+        nuclear = similarity_over_time(small_generator, "nuclear",
+                                       D(2014, 8, 2), D(2014, 8, 8))
+        rig = similarity_over_time(small_generator, "rig",
+                                   D(2014, 8, 2), D(2014, 8, 8))
+        assert rig.mean() < nuclear.mean() - 0.1
+
+    def test_all_kits_helper(self, small_generator):
+        series = similarity_all_kits(small_generator, D(2014, 8, 2),
+                                     D(2014, 8, 3))
+        assert set(series) == {"angler", "nuclear", "rig", "sweetorange"}
+
+
+class TestMonthExperiment:
+    @pytest.fixture(scope="class")
+    def short_report(self):
+        config = ExperimentConfig(
+            start=D(2014, 8, 1), end=D(2014, 8, 4), seed_days=2,
+            stream=StreamConfig(benign_per_day=14,
+                                kit_daily_counts={"angler": 7, "nuclear": 4,
+                                                  "sweetorange": 4, "rig": 3},
+                                seed=11),
+            kizzle=KizzleConfig(machines=6, min_points=3))
+        return MonthExperiment(config).run()
+
+    def test_one_record_per_day(self, short_report):
+        assert len(short_report.days) == 4
+        assert [day.date for day in short_report.days] == [
+            D(2014, 8, 1), D(2014, 8, 2), D(2014, 8, 3), D(2014, 8, 4)]
+
+    def test_ground_truth_collected(self, short_report):
+        totals = short_report.ground_truth.kit_totals()
+        assert set(totals) == {"angler", "nuclear", "sweetorange", "rig"}
+
+    def test_kizzle_beats_av_is_not_required_but_rates_are_sane(self,
+                                                                short_report):
+        rates = short_report.overall_rates()
+        assert 0.0 <= rates["kizzle_fn_rate"] <= 0.35
+        assert 0.0 <= rates["kizzle_fp_rate"] <= 0.05
+        assert 0.0 <= rates["av_fn_rate"] <= 0.6
+
+    def test_series_lengths(self, short_report):
+        fn = short_report.fn_series()
+        fp = short_report.fp_series()
+        assert len(fn["kizzle"]) == len(fn["av"]) == 4
+        assert len(fp["kizzle"]) == 4
+
+    def test_signature_length_series(self, short_report):
+        series = short_report.signature_length_series()
+        assert "dates" in series
+        assert any(kit in series for kit in ("angler", "nuclear",
+                                             "sweetorange", "rig"))
+
+    def test_cluster_count_range(self, short_report):
+        counts = short_report.cluster_count_range()
+        assert counts["min"] >= 1
+        assert counts["max"] >= counts["min"]
+
+    def test_counts_tables(self, short_report):
+        kizzle_counts = short_report.kizzle_counts()
+        av_counts = short_report.av_counts()
+        assert sum(kizzle_counts.ground_truth.values()) == \
+            sum(av_counts.ground_truth.values())

@@ -1,0 +1,260 @@
+"""Tests for the Section V extensions: multi-window signatures, hidden
+server-side signatures, and the attacker evasion models."""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+import pytest
+
+from repro.ekgen import BenignGenerator, JunkStatementInserter, \
+    SignatureOracleAttacker, TelemetryGenerator, StreamConfig
+from repro.scanner import HiddenSignature, HiddenSignatureCompiler, \
+    ServerSideScanner
+from repro.scanner.normalizer import normalize_for_scan
+from repro.signatures import (
+    MultiWindowCompiler,
+    MultiWindowConfig,
+    MultiWindowSignature,
+    SignatureCompiler,
+    common_token_windows,
+)
+from repro.unpack import default_registry
+
+D = datetime.date(2014, 8, 5)
+
+
+def kit_cluster(kits, kit, count=6, day=D, base_seed=300):
+    return [kits[kit].generate(day, random.Random(base_seed + i)).content
+            for i in range(count)]
+
+
+class TestCommonTokenWindows:
+    def test_multiple_disjoint_windows(self):
+        a = tuple("AAAAAAAA" + "x" + "BBBBBBBB" + "yy" + "CCCCCCCC")
+        b = tuple("AAAAAAAA" + "qqq" + "BBBBBBBB" + "z" + "CCCCCCCC")
+        windows = common_token_windows([a, b], max_windows=3,
+                                       max_tokens_per_window=8,
+                                       min_tokens_per_window=3)
+        assert 2 <= len(windows) <= 3
+        # Windows do not overlap in the first sample.
+        spans = sorted((w.positions[0], w.positions[0] + w.length)
+                       for w in windows)
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_no_windows_for_disjoint_inputs(self):
+        assert common_token_windows([tuple("aaaa"), tuple("bbbb")]) == []
+
+    def test_window_cap_respected(self):
+        tokens = tuple("abcdefghij" * 10)
+        windows = common_token_windows([tokens, tokens], max_windows=2,
+                                       max_tokens_per_window=15)
+        assert all(window.length <= 15 for window in windows)
+
+
+class TestMultiWindowSignature:
+    def test_in_order_matching(self):
+        signature = MultiWindowSignature(kit="x", fragments=["aaa", "bbb"],
+                                         created=D)
+        assert signature.matches("xxaaaxxbbbxx")
+        assert not signature.matches("bbb then aaa")
+        assert not signature.matches("aaa only")
+        assert signature.window_count == 2
+        assert signature.length == 6
+
+    @pytest.mark.parametrize("kit", ["nuclear", "sweetorange", "angler", "rig"])
+    def test_compiles_and_matches_cluster(self, kits, kit):
+        cluster = kit_cluster(kits, kit)
+        signature = MultiWindowCompiler().compile_cluster(cluster, kit, D)
+        assert signature is not None
+        assert signature.window_count >= 1
+        for content in cluster:
+            assert signature.matches(normalize_for_scan(content))
+
+    def test_does_not_match_benign(self, kits):
+        cluster = kit_cluster(kits, "nuclear")
+        signature = MultiWindowCompiler().compile_cluster(cluster, "nuclear", D)
+        benign = BenignGenerator()
+        for seed in range(8):
+            sample = benign.generate(D, random.Random(seed))
+            assert not signature.matches(normalize_for_scan(sample.content))
+
+    def test_degenerate_cluster(self):
+        compiler = MultiWindowCompiler()
+        assert compiler.compile_cluster([], "x", D) is None
+        assert compiler.compile_cluster(["var a;", "function b() {}"],
+                                        "x", D) is None
+
+    def test_junk_insertion_defeats_clean_signature_multiwindow_recovers(
+            self, kits):
+        """The Section V evasion scenario end to end.
+
+        The attacker starts shipping junk-padded variants: the signature
+        compiled from yesterday's clean cluster stops matching.  Kizzle
+        recompiles from today's (evaded) cluster; the single-window compiler
+        is left with a much shorter common window, while the multi-window
+        compiler recovers several windows whose combined specificity is
+        higher and which keep matching fresh evaded variants without benign
+        false positives.
+        """
+        clean_cluster = kit_cluster(kits, "nuclear", count=6)
+        clean_signature = SignatureCompiler().compile_cluster(
+            clean_cluster, "nuclear", D)
+
+        inserter = JunkStatementInserter(density=0.8, max_junk_per_site=2,
+                                         seed=5)
+        evaded_cluster = [
+            inserter.rewrite(
+                kits["nuclear"].generate(D, random.Random(900 + i)).content,
+                seed=i)
+            for i in range(6)
+        ]
+        fresh_evaded = inserter.rewrite(
+            kits["nuclear"].generate(D, random.Random(990)).content, seed=99)
+
+        # The clean signature no longer matches the evaded variants.
+        assert not clean_signature.matches(normalize_for_scan(fresh_evaded))
+
+        single_after = SignatureCompiler().compile_cluster(
+            evaded_cluster, "nuclear", D)
+        multi_after = MultiWindowCompiler(MultiWindowConfig(
+            max_windows=6, max_tokens_per_window=40)).compile_cluster(
+                evaded_cluster, "nuclear", D)
+
+        assert multi_after is not None
+        single_tokens = single_after.token_length if single_after else 0
+        # Junk insertion caps how long any single common window can be, while
+        # the multi-window signature accumulates several of them and ends up
+        # more specific.
+        assert single_tokens < clean_signature.token_length
+        assert sum(multi_after.token_lengths) > single_tokens
+        assert multi_after.window_count >= 2
+        assert multi_after.matches(normalize_for_scan(fresh_evaded))
+        benign = BenignGenerator().generate(D, random.Random(1))
+        assert not multi_after.matches(normalize_for_scan(benign.content))
+
+
+class TestJunkStatementInserter:
+    def test_rewrite_changes_text_but_keeps_payload_decodable(self, kits):
+        sample = kits["rig"].generate(D, random.Random(42))
+        inserter = JunkStatementInserter(density=0.6, seed=1)
+        evaded = inserter.rewrite(sample.content)
+        assert evaded != sample.content
+        # The RIG unpacker still recovers the same payload: the junk only sits
+        # between statements, it does not disturb the collect() data.
+        payload, applied = default_registry().unpack(evaded)
+        assert applied == ["rig"]
+        assert payload.strip() == sample.unpacked.strip()
+
+    def test_raw_javascript_input(self):
+        inserter = JunkStatementInserter(density=1.0, max_junk_per_site=1,
+                                         seed=3)
+        rewritten = inserter.rewrite("var a = 1; var b = 2; var c = 3;")
+        assert rewritten.count(";") > 3
+
+    def test_determinism_per_seed(self, kits):
+        sample = kits["angler"].generate(D, random.Random(4)).content
+        inserter = JunkStatementInserter(seed=9)
+        assert inserter.rewrite(sample) == inserter.rewrite(sample)
+        assert inserter.rewrite(sample, seed=1) != inserter.rewrite(sample, seed=2)
+
+
+class TestSignatureOracleAttacker:
+    def test_attacker_beats_static_signature_eventually(self, kits):
+        cluster = kit_cluster(kits, "nuclear")
+        signature = SignatureCompiler().compile_cluster(cluster, "nuclear", D)
+        inserter = JunkStatementInserter(density=0.5, seed=0)
+
+        attacker = SignatureOracleAttacker(
+            generate_variant=lambda attempt: kits["nuclear"].generate(
+                D, random.Random(5000 + attempt)).content,
+            is_detected=lambda content: signature.matches(
+                normalize_for_scan(content)),
+            mutator=inserter,
+            max_attempts=10)
+        evaded, attempts = attacker.evade()
+        assert evaded is not None
+        assert attempts <= 10
+        assert len(attacker.attempts_log) == attempts
+
+    def test_attacker_fails_against_hidden_signatures(self, kits,
+                                                      small_generator):
+        """Hidden signatures match the inner layer, which the junk-insertion
+        mutation does not touch, so the oracle loop runs out of attempts."""
+        compiler = HiddenSignatureCompiler()
+        cores = [small_generator.reference_core("nuclear", D)]
+        hidden = compiler.compile_family("nuclear", cores, D)
+        scanner = ServerSideScanner()
+        scanner.add(hidden)
+
+        attacker = SignatureOracleAttacker(
+            generate_variant=lambda attempt: kits["nuclear"].generate(
+                D, random.Random(7000 + attempt)).content,
+            is_detected=lambda content: scanner.scan(content)["detected"],
+            mutator=JunkStatementInserter(density=0.6, seed=1),
+            max_attempts=8)
+        evaded, attempts = attacker.evade()
+        assert evaded is None
+        assert attempts == 8
+
+
+class TestHiddenSignatures:
+    def test_compile_family_and_match(self, small_generator, kits):
+        compiler = HiddenSignatureCompiler()
+        compiler.add_benign_reference(
+            [BenignGenerator().generate(D, random.Random(i)).unpacked
+             for i in range(6)])
+        cores = [small_generator.reference_core("angler", D),
+                 small_generator.reference_core(
+                     "angler", D + datetime.timedelta(days=1))]
+        signature = compiler.compile_family("angler", cores, D)
+        assert signature is not None
+        assert signature.min_hits <= len(signature.indicators)
+        sample = kits["angler"].generate(D, random.Random(11))
+        assert signature.matches(sample.unpacked)
+
+    def test_empty_family(self):
+        assert HiddenSignatureCompiler().compile_family("x", [], D) is None
+
+    def test_benign_reference_filters_shared_code(self, small_generator):
+        """Indicators drawn from code that also appears in benign libraries
+        (the PluginDetect block) must be filtered out."""
+        benign = BenignGenerator().generate(D, random.Random(1),
+                                            family="plugindetect")
+        compiler = HiddenSignatureCompiler()
+        compiler.add_benign_reference([benign.unpacked])
+        signature = compiler.compile_family(
+            "nuclear", [small_generator.reference_core("nuclear", D)], D)
+        assert signature is not None
+        for indicator in signature.indicators:
+            assert indicator not in benign.unpacked
+
+    def test_server_side_scanner_end_to_end(self, small_generator, kits):
+        compiler = HiddenSignatureCompiler()
+        scanner = ServerSideScanner()
+        for kit in ("nuclear", "angler", "rig", "sweetorange"):
+            signature = compiler.compile_family(
+                kit, [small_generator.reference_core(kit, D)], D)
+            assert signature is not None
+            scanner.add(signature)
+        assert scanner.signature_count() == 4
+
+        for kit in ("nuclear", "angler", "rig", "sweetorange"):
+            sample = kits[kit].generate(D, random.Random(13))
+            verdict = scanner.scan(sample.content)
+            assert verdict["detected"], kit
+            assert kit in verdict["kits"]
+            assert verdict["layers"] == 1
+
+        benign = BenignGenerator().generate(D, random.Random(2))
+        assert not scanner.scan(benign.content)["detected"]
+
+    def test_hidden_signature_hit_counting(self):
+        signature = HiddenSignature(kit="x", indicators=["alpha", "beta",
+                                                         "gamma"],
+                                    created=D, min_hits=2)
+        assert signature.hits("alpha ... beta") == 2
+        assert signature.matches("alpha ... beta")
+        assert not signature.matches("only alpha here")

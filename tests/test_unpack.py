@@ -1,0 +1,147 @@
+"""Tests for the per-kit unpackers and the registry."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.unpack import (
+    AnglerUnpacker,
+    NuclearUnpacker,
+    RigUnpacker,
+    SweetOrangeUnpacker,
+    UnpackError,
+    UnpackerRegistry,
+    default_registry,
+    unpack_sample,
+)
+
+UNPACKERS = {
+    "rig": RigUnpacker,
+    "nuclear": NuclearUnpacker,
+    "angler": AnglerUnpacker,
+    "sweetorange": SweetOrangeUnpacker,
+}
+
+
+class TestPerKitRoundTrip:
+    @pytest.mark.parametrize("name", sorted(UNPACKERS))
+    def test_recognize_and_unpack_own_kit(self, kits, august_day, name):
+        sample = kits[name].generate(august_day, random.Random(11))
+        unpacker = UNPACKERS[name]()
+        assert unpacker.recognizes(sample.content)
+        assert unpacker.unpack(sample.content).strip() == sample.unpacked.strip()
+
+    @pytest.mark.parametrize("name", sorted(UNPACKERS))
+    def test_does_not_recognize_other_kits(self, kits, august_day, name):
+        unpacker = UNPACKERS[name]()
+        for other_name, kit in kits.items():
+            if other_name == name:
+                continue
+            sample = kit.generate(august_day, random.Random(12))
+            assert not unpacker.recognizes(sample.content), \
+                f"{name} unpacker wrongly recognizes {other_name}"
+
+    @pytest.mark.parametrize("name", sorted(UNPACKERS))
+    def test_does_not_recognize_benign(self, august_day, rng, name):
+        from repro.ekgen import BenignGenerator
+
+        sample = BenignGenerator().generate(august_day, rng)
+        assert not UNPACKERS[name]().recognizes(sample.content)
+
+    @pytest.mark.parametrize("name", sorted(UNPACKERS))
+    def test_roundtrip_across_versions(self, kits, name):
+        """Unpackers keep working as packers rotate through the month."""
+        import datetime
+
+        for day in (datetime.date(2014, 8, 2), datetime.date(2014, 8, 15),
+                    datetime.date(2014, 8, 29)):
+            sample = kits[name].generate(day, random.Random(13))
+            payload = UNPACKERS[name]().unpack(sample.content)
+            assert payload.strip() == sample.unpacked.strip()
+
+
+class TestUnpackErrors:
+    def test_rig_without_collect(self):
+        unpacker = RigUnpacker()
+        with pytest.raises(UnpackError):
+            unpacker.unpack("var x = 'nothing to see';")
+
+    def test_nuclear_without_payload(self):
+        unpacker = NuclearUnpacker()
+        with pytest.raises(UnpackError):
+            unpacker.unpack("var a = 'abc'; a.charCodeAt(0);")
+
+    def test_angler_without_hex(self):
+        unpacker = AnglerUnpacker()
+        with pytest.raises(UnpackError):
+            unpacker.unpack('window["ev" + "al"](x);')
+
+    def test_sweetorange_without_junk_table(self):
+        unpacker = SweetOrangeUnpacker()
+        with pytest.raises(UnpackError):
+            unpacker.unpack('var xx = ["a"]; xx.join("");')
+
+    def test_try_unpack_returns_none_when_unrecognized(self):
+        assert RigUnpacker().try_unpack("var benign = true;") is None
+
+    def test_rig_corrupted_charcodes(self, kits, august_day):
+        sample = kits["rig"].generate(august_day, random.Random(3))
+        corrupted = sample.content.replace("String.fromCharCode",
+                                           "String.fromCharCode")  # no-op
+        # Corrupt the buffer so a non-numeric piece shows up.
+        corrupted = corrupted.replace('("4', '("x4', 1)
+        unpacker = RigUnpacker()
+        if unpacker.recognizes(corrupted):
+            with pytest.raises(UnpackError):
+                unpacker.unpack(corrupted)
+
+
+class TestRegistry:
+    def test_default_registry_has_four_unpackers(self):
+        registry = default_registry()
+        assert {unpacker.kit for unpacker in registry.unpackers} == \
+            {"rig", "nuclear", "angler", "sweetorange"}
+
+    @pytest.mark.parametrize("name", sorted(UNPACKERS))
+    def test_registry_unpacks_every_kit(self, kits, august_day, name):
+        registry = default_registry()
+        sample = kits[name].generate(august_day, random.Random(21))
+        payload, applied = registry.unpack(sample.content)
+        assert applied == [name]
+        assert payload.strip() == sample.unpacked.strip()
+
+    def test_registry_passes_through_unpacked_content(self):
+        registry = default_registry()
+        payload, applied = registry.unpack("var perfectly = 'benign';")
+        assert applied == []
+        assert payload == "var perfectly = 'benign';"
+
+    def test_unpack_sample_convenience(self, kits, august_day):
+        sample = kits["nuclear"].generate(august_day, random.Random(5))
+        assert unpack_sample(sample.content).strip() == sample.unpacked.strip()
+
+    def test_max_layers_respected(self):
+        class Endless(RigUnpacker):
+            kit = "endless"
+
+            def recognizes(self, content):
+                return True
+
+            def unpack(self, content):
+                return content + "x"
+
+        registry = UnpackerRegistry(max_layers=3)
+        registry.register(Endless())
+        payload, applied = registry.unpack("seed")
+        assert len(applied) == 3
+        assert payload == "seedxxx"
+
+    def test_registration_order_respected(self, kits, august_day):
+        registry = UnpackerRegistry()
+        registry.register(NuclearUnpacker())
+        registry.register(RigUnpacker())
+        sample = kits["rig"].generate(august_day, random.Random(2))
+        _payload, applied = registry.unpack(sample.content)
+        assert applied == ["rig"]
