@@ -11,6 +11,9 @@ scaling.
 from __future__ import annotations
 
 import datetime
+import json
+import pathlib
+import platform
 
 import pytest
 
@@ -20,6 +23,49 @@ from repro.evalharness import ExperimentConfig, MonthExperiment
 
 AUGUST_START = datetime.date(2014, 8, 1)
 AUGUST_END = datetime.date(2014, 8, 31)
+
+#: Repo root, where the per-run benchmark artifact is written.
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Everything under benchmarks/ is the reproduction suite: mark it
+    ``bench`` and ``slow`` so ``pytest -m "not slow"`` keeps the inner loop
+    fast without maintaining per-file marker lists.  (The hook sees the
+    whole session's items, so filter to this directory.)"""
+    bench_dir = pathlib.Path(__file__).resolve().parent
+    for item in items:
+        if bench_dir in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
+            item.add_marker(pytest.mark.slow)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Serialize pytest-benchmark results to ``BENCH_<date>.json`` at the
+    repo root so the performance trajectory is tracked PR-over-PR."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    payload = {
+        "date": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": [
+            {
+                "name": bench.name,
+                "fullname": bench.fullname,
+                "rounds": bench.stats.rounds,
+                "mean_s": bench.stats.mean,
+                "stddev_s": bench.stats.stddev,
+                "min_s": bench.stats.min,
+                "max_s": bench.stats.max,
+            }
+            for bench in bench_session.benchmarks
+        ],
+    }
+    path = REPO_ROOT / f"BENCH_{payload['date']}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
 
 
 @pytest.fixture(scope="session")

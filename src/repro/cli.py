@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.config import KizzleConfig
 from repro.core.pipeline import Kizzle
+from repro.distance.engine import DistanceEngineConfig
 from repro.ekgen.telemetry import StreamConfig, TelemetryGenerator
 from repro.evalharness import ExperimentConfig, MonthExperiment, \
     format_absolute_counts, format_day_series
@@ -42,6 +43,16 @@ def _parse_date(text: str) -> datetime.date:
     except ValueError as exc:
         raise argparse.ArgumentTypeError(
             f"not an ISO date (YYYY-MM-DD): {text!r}") from exc
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from exc
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative: {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,6 +73,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stream seed")
     parser.add_argument("--machines", type=int, default=10,
                         help="simulated machine count")
+    parser.add_argument("--workers", type=_nonnegative_int, default=0,
+                        help="distance-engine process pool width "
+                             "(0 = auto-detect CPU count, 1 = serial)")
+    parser.add_argument("--no-length-filter", action="store_true",
+                        help="disable the length-gap distance prefilter")
+    parser.add_argument("--no-bag-filter", action="store_true",
+                        help="disable the token-bag distance prefilter")
+    parser.add_argument("--no-qgram-filter", action="store_true",
+                        help="disable the q-gram distance prefilter")
+    parser.add_argument("--distance-cache", type=_nonnegative_int,
+                        default=DistanceEngineConfig.cache_size,
+                        help="bounded pair-distance cache size (entries)")
 
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -92,10 +115,20 @@ def _stream_config(args: argparse.Namespace) -> StreamConfig:
         seed=args.seed)
 
 
+def _engine_config(args: argparse.Namespace) -> DistanceEngineConfig:
+    return DistanceEngineConfig(
+        workers=args.workers,
+        length_filter=not args.no_length_filter,
+        bag_filter=not args.no_bag_filter,
+        qgram_filter=not args.no_qgram_filter,
+        cache_size=args.distance_cache)
+
+
 def _seeded_kizzle(generator: TelemetryGenerator,
                    args: argparse.Namespace,
                    seed_date: datetime.date) -> Kizzle:
-    kizzle = Kizzle(KizzleConfig(machines=args.machines))
+    kizzle = Kizzle(KizzleConfig(machines=args.machines,
+                                 distance=_engine_config(args)))
     for kit in DEFAULT_KITS:
         kizzle.seed_known_kit(kit, [generator.reference_core(kit, seed_date)])
     return kizzle
@@ -158,7 +191,9 @@ def command_evaluate(args: argparse.Namespace, out) -> int:
     end = start + datetime.timedelta(days=max(1, args.days) - 1)
     config = ExperimentConfig(start=start, end=end, seed_days=3,
                               stream=_stream_config(args),
-                              kizzle=KizzleConfig(machines=args.machines))
+                              kizzle=KizzleConfig(
+                                  machines=args.machines,
+                                  distance=_engine_config(args)))
     report = MonthExperiment(config).run()
     fn = report.fn_series()
     print(format_day_series(fn["dates"], {"Kizzle FN": fn["kizzle"],

@@ -7,15 +7,20 @@ else is noise.  The paper clusters abstract token strings with
 ``epsilon = 0.10`` (normalized edit distance).
 
 Because our points are variable-length sequences rather than vectors, there
-is no spatial index to lean on.  Instead the implementation exploits two
+is no spatial index to lean on.  Instead the implementation exploits the
 structural properties of the workload:
 
 * exact duplicates are extremely common in a grayware stream (the same ad
   script or packer output appears thousands of times), so points are
   de-duplicated before the quadratic neighbour search and re-expanded
   afterwards;
-* the metric's ``within`` test uses banded edit distance and cheap lower
-  bounds, so most candidate pairs are rejected in O(1) or O(eps * n).
+* the epsilon-neighbourhood graph is built in one batched query against
+  :class:`~repro.distance.engine.DistanceEngine`, which evaluates every
+  unordered pair exactly once behind layered exact prefilters, a bounded
+  memo cache and (for large batches) a process pool.
+
+Passing a custom ``metric`` falls back to the original per-point pairwise
+scan, so non-edit-distance metrics keep working unchanged.
 """
 
 from __future__ import annotations
@@ -24,7 +29,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.distance.metrics import DistanceMetric, TokenEditDistance
+from repro.distance.engine import DistanceEngine, DistanceEngineConfig
+from repro.distance.metrics import DistanceMetric
 
 #: Cluster id assigned to noise points.
 NOISE = -1
@@ -71,12 +77,18 @@ class DBSCAN:
         point.  The paper's clusters need enough samples to generate a
         signature, so small values (2-4) are typical.
     metric:
-        Distance metric; defaults to banded normalized token edit distance.
+        Optional custom distance metric.  When given, the original pairwise
+        scan is used; when omitted, neighbourhoods are batched through the
+        distance engine (same labels, far less work).
+    engine:
+        Distance engine to issue batched queries against; defaults to a
+        fresh engine with default config.  Ignored when ``metric`` is given.
     """
 
     epsilon: float = 0.10
     min_points: int = 3
     metric: Optional[DistanceMetric] = None
+    engine: Optional[DistanceEngine] = None
     _comparisons: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -84,8 +96,8 @@ class DBSCAN:
             raise ValueError("epsilon must be in [0, 1]")
         if self.min_points < 1:
             raise ValueError("min_points must be at least 1")
-        if self.metric is None:
-            self.metric = TokenEditDistance(epsilon=self.epsilon)
+        if self.metric is None and self.engine is None:
+            self.engine = DistanceEngine(DistanceEngineConfig())
 
     # ------------------------------------------------------------------
     def fit(self, points: Sequence[Tuple[str, ...]]) -> DBSCANResult:
@@ -120,6 +132,7 @@ class DBSCAN:
 
     def _neighbours(self, points: List[Tuple[str, ...]],
                     weights: List[int], index: int) -> List[int]:
+        """Legacy per-point neighbour scan for custom metrics."""
         neighbours = []
         target = points[index]
         for other in range(len(points)):
@@ -130,23 +143,35 @@ class DBSCAN:
                 neighbours.append(other)
         return neighbours
 
+    def _neighbourhoods(self, points: List[Tuple[str, ...]]
+                        ) -> List[List[int]]:
+        """Epsilon-neighbourhood adjacency for every unique point.
+
+        One batched engine query evaluates each unordered pair once; the
+        legacy path evaluates each ordered pair for a custom metric.
+        """
+        if self.metric is not None:
+            return [self._neighbours(points, [], index)
+                    for index in range(len(points))]
+        adjacency, comparisons = self.engine.neighbourhoods(points,
+                                                            self.epsilon)
+        self._comparisons += comparisons
+        return adjacency
+
     def _cluster_unique(self, points: List[Tuple[str, ...]],
                         weights: List[int]) -> List[int]:
         # Weights: how many original samples each unique point represents.
         # They count toward the min_points density requirement.
+        if not points:
+            return []
+        neighbourhoods = self._neighbourhoods(points)
         labels = [None] * len(points)  # type: List[Optional[int]]
         cluster_id = 0
-        neighbour_cache: Dict[int, List[int]] = {}
-
-        def neighbourhood(index: int) -> List[int]:
-            if index not in neighbour_cache:
-                neighbour_cache[index] = self._neighbours(points, weights, index)
-            return neighbour_cache[index]
 
         for index in range(len(points)):
             if labels[index] is not None:
                 continue
-            neighbours = neighbourhood(index)
+            neighbours = neighbourhoods[index]
             density = weights[index] + sum(weights[n] for n in neighbours)
             if density < self.min_points:
                 labels[index] = NOISE
@@ -162,7 +187,7 @@ class DBSCAN:
                 if labels[candidate] is not None:
                     continue
                 labels[candidate] = cluster_id
-                candidate_neighbours = neighbourhood(candidate)
+                candidate_neighbours = neighbourhoods[candidate]
                 candidate_density = weights[candidate] + sum(
                     weights[n] for n in candidate_neighbours)
                 if candidate_density >= self.min_points:

@@ -9,9 +9,9 @@ step is the pipeline's bottleneck since it runs on a single machine.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.distance.metrics import TokenEditDistance
+from repro.distance.engine import DistanceEngine
 
 
 class _UnionFind:
@@ -35,13 +35,18 @@ class _UnionFind:
 
 
 def merge_clusters(per_partition: Sequence[Sequence["Cluster"]],
-                   epsilon: float = 0.10) -> Tuple[List["Cluster"], int]:
+                   epsilon: float = 0.10,
+                   engine: Optional[DistanceEngine] = None
+                   ) -> Tuple[List["Cluster"], int]:
     """Merge clusters from multiple partitions.
 
     Two clusters are merged when their prototypes' token strings are within
-    ``epsilon`` normalized edit distance.  Returns the merged clusters (with
-    fresh, dense cluster ids and recomputed prototypes) and the number of
-    prototype comparisons performed.
+    ``epsilon`` normalized edit distance.  The all-pairs prototype queries
+    are issued as one batch against the distance engine (sharing its memo
+    cache with the map phase when the caller passes the same engine).
+    Returns the merged clusters (with fresh, dense cluster ids and
+    recomputed prototypes) and the number of prototype comparisons
+    performed.
     """
     from repro.clustering.partition import Cluster
     from repro.clustering.prototypes import select_prototype
@@ -51,15 +56,12 @@ def merge_clusters(per_partition: Sequence[Sequence["Cluster"]],
     if not flat:
         return [], 0
 
-    metric = TokenEditDistance(epsilon=epsilon)
+    engine = engine or DistanceEngine()
+    prototypes = [cluster.prototype.tokens for cluster in flat]
+    hits, comparisons = engine.pairs_within(prototypes, epsilon)
     union = _UnionFind(len(flat))
-    comparisons = 0
-    for i in range(len(flat)):
-        for j in range(i + 1, len(flat)):
-            comparisons += 1
-            if metric.within(flat[i].prototype.tokens,
-                             flat[j].prototype.tokens, epsilon):
-                union.union(i, j)
+    for i, j in hits:
+        union.union(i, j)
 
     groups: Dict[int, List[int]] = {}
     for index in range(len(flat)):
@@ -69,7 +71,8 @@ def merge_clusters(per_partition: Sequence[Sequence["Cluster"]],
     for new_id, indices in enumerate(sorted(groups.values(),
                                             key=lambda idx: idx[0])):
         samples = [sample for index in indices for sample in flat[index].samples]
-        prototype_index = select_prototype([sample.tokens for sample in samples])
+        prototype_index = select_prototype(
+            [sample.tokens for sample in samples], engine=engine)
         merged.append(Cluster(cluster_id=new_id, samples=samples,
                               prototype_index=prototype_index))
     return merged, comparisons

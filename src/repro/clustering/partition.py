@@ -17,6 +17,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.clustering.dbscan import DBSCAN, NOISE
 from repro.clustering.merge import merge_clusters
 from repro.clustering.prototypes import select_prototype
+from repro.distance.engine import DistanceEngine, DistanceEngineConfig, \
+    EngineStats
 from repro.distsim.mapreduce import MapReduceJob, MapReduceReport, SimCluster
 from repro.jstoken.normalizer import abstract_token_string
 
@@ -93,24 +95,31 @@ def partition_samples(samples: Sequence[ClusteredSample], partitions: int,
 
 def cluster_partition(samples: Sequence[ClusteredSample],
                       epsilon: float = 0.10,
-                      min_points: int = 3) -> Tuple[List[Cluster], int]:
+                      min_points: int = 3,
+                      engine: Optional[DistanceEngine] = None
+                      ) -> Tuple[List[Cluster], int]:
     """Run DBSCAN over one partition.
 
-    Returns the clusters found in this partition (noise points dropped) and
-    the number of distance comparisons performed (the work accounting used by
-    the simulator).
+    All neighbour queries are issued as one batch against ``engine`` (a
+    fresh default engine when not supplied, so standalone callers keep
+    working).  Returns the clusters found in this partition (noise points
+    dropped) and the number of distance comparisons performed (the work
+    accounting used by the simulator).
     """
     prepared = [sample.ensure_tokens() for sample in samples]
     if not prepared:
         return [], 0
-    result = DBSCAN(epsilon=epsilon, min_points=min_points).fit(
+    engine = engine or DistanceEngine()
+    result = DBSCAN(epsilon=epsilon, min_points=min_points,
+                    engine=engine).fit(
         [sample.tokens for sample in prepared])
     clusters: List[Cluster] = []
     for label, indices in sorted(result.members().items()):
         if label == NOISE:
             continue
         members = [prepared[i] for i in indices]
-        prototype_index = select_prototype([m.tokens for m in members])
+        prototype_index = select_prototype([m.tokens for m in members],
+                                           engine=engine)
         clusters.append(Cluster(cluster_id=label, samples=members,
                                 prototype_index=prototype_index))
     return clusters, result.comparisons
@@ -128,6 +137,10 @@ class DistributedClusterer:
         The simulated machine pool; defaults to the paper's 50 machines.
     seed:
         Seed for the random partitioning.
+    engine_config:
+        Distance-engine settings (worker count, prefilter toggles, cache
+        size).  One engine is shared across the map and reduce phases so
+        the reduce step reuses distances the map phase already computed.
     """
 
     #: Target number of samples per partition when the caller does not pin
@@ -138,11 +151,13 @@ class DistributedClusterer:
 
     def __init__(self, epsilon: float = 0.10, min_points: int = 3,
                  sim_cluster: Optional[SimCluster] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 engine_config: Optional[DistanceEngineConfig] = None) -> None:
         self.epsilon = epsilon
         self.min_points = min_points
         self.sim_cluster = sim_cluster or SimCluster(machine_count=50)
         self.seed = seed
+        self.engine = DistanceEngine(engine_config or DistanceEngineConfig())
 
     def run(self, samples: Sequence[ClusteredSample],
             partitions: Optional[int] = None
@@ -169,7 +184,8 @@ class DistributedClusterer:
             bucket: List[ClusteredSample] = [
                 sample for item in partition_items for sample in item]
             clusters, comparisons = cluster_partition(
-                bucket, epsilon=self.epsilon, min_points=self.min_points)
+                bucket, epsilon=self.epsilon, min_points=self.min_points,
+                engine=self.engine)
             # Work: comparisons weighted by typical banded-DP cost per pair.
             average_length = (sum(len(sample.tokens) for sample in bucket)
                               / max(1, len(bucket)))
@@ -182,7 +198,8 @@ class DistributedClusterer:
         def reduce_function(per_partition: List[List[Cluster]]
                             ) -> Tuple[List[Cluster], float]:
             merged, comparisons = merge_clusters(per_partition,
-                                                 epsilon=self.epsilon)
+                                                 epsilon=self.epsilon,
+                                                 engine=self.engine)
             average_length = 1.0
             all_clusters = [cluster for part in per_partition for cluster in part]
             if all_clusters:
@@ -192,9 +209,14 @@ class DistributedClusterer:
                 * average_length
             return merged, cost
 
+        before = EngineStats(**self.engine.stats.as_dict())
         job = MapReduceJob(self.sim_cluster, map_function, reduce_function)
         report = job.run(buckets, partitions=len(buckets),
                          item_bytes=lambda bucket: float(
                              sum(len(sample.content) for sample in bucket)))
+        delta = EngineStats(**{
+            name: value - getattr(before, name)
+            for name, value in self.engine.stats.as_dict().items()})
+        report.distance_stats = delta.as_dict()
         merged: List[Cluster] = report.reduce_value or []
         return merged, report

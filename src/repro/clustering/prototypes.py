@@ -13,18 +13,22 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Tuple
 
-from repro.distance.levenshtein import normalized_edit_distance
+from repro.distance.engine import DistanceEngine
 
 #: Above this cluster size the medoid is computed over a random subsample.
 _EXACT_MEDOID_LIMIT = 40
 
 
 def medoid_index(token_strings: Sequence[Tuple[str, ...]],
-                 candidates: Optional[Sequence[int]] = None) -> int:
+                 candidates: Optional[Sequence[int]] = None,
+                 engine: Optional[DistanceEngine] = None) -> int:
     """Index of the medoid of the given token strings.
 
     ``candidates`` restricts both the candidate prototypes and the reference
-    set (used for the subsampled approximation).
+    set (used for the subsampled approximation).  Distances go through the
+    engine's memoized exact kernel — medoid computation touches each pair
+    twice and duplicate members are the norm, so the cache pays off
+    immediately.
     """
     if not token_strings:
         raise ValueError("cannot compute a medoid of an empty cluster")
@@ -32,6 +36,7 @@ def medoid_index(token_strings: Sequence[Tuple[str, ...]],
         else list(range(len(token_strings)))
     if len(indices) == 1:
         return indices[0]
+    engine = engine or DistanceEngine()
     best_index = indices[0]
     best_total = float("inf")
     for i in indices:
@@ -39,8 +44,7 @@ def medoid_index(token_strings: Sequence[Tuple[str, ...]],
         for j in indices:
             if i == j:
                 continue
-            total += normalized_edit_distance(token_strings[i],
-                                              token_strings[j])
+            total += engine.distance(token_strings[i], token_strings[j])
             if total >= best_total:
                 break
         if total < best_total:
@@ -50,7 +54,8 @@ def medoid_index(token_strings: Sequence[Tuple[str, ...]],
 
 
 def select_prototype(token_strings: Sequence[Tuple[str, ...]],
-                     seed: int = 0) -> int:
+                     seed: int = 0,
+                     engine: Optional[DistanceEngine] = None) -> int:
     """Pick the prototype index for a cluster.
 
     Exact medoid for small clusters; medoid over a seeded subsample for
@@ -61,7 +66,7 @@ def select_prototype(token_strings: Sequence[Tuple[str, ...]],
     if not token_strings:
         raise ValueError("cannot select a prototype from an empty cluster")
     if len(token_strings) <= _EXACT_MEDOID_LIMIT:
-        return medoid_index(token_strings)
+        return medoid_index(token_strings, engine=engine)
 
     rng = random.Random(seed)
     candidates = rng.sample(range(len(token_strings)),
@@ -73,4 +78,4 @@ def select_prototype(token_strings: Sequence[Tuple[str, ...]],
     modal_indices: List[int] = max(counts.values(), key=len)
     if not any(index in candidates for index in modal_indices):
         candidates[0] = modal_indices[0]
-    return medoid_index(token_strings, candidates=candidates)
+    return medoid_index(token_strings, candidates=candidates, engine=engine)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.distance.engine import DistanceEngineConfig
 from repro.labeling.corpus import DEFAULT_THRESHOLDS
 from repro.signatures.compiler import SignatureConfig
 from repro.winnowing.fingerprint import DEFAULT_K, DEFAULT_WINDOW
@@ -33,6 +34,12 @@ class KizzleConfig:
         Per-family winnow overlap thresholds.
     signature:
         Signature generation settings (window cap, minimum length).
+    distance:
+        Distance-engine settings: process-pool width (``workers``; 0 means
+        auto-detect), the three prefilter toggles
+        (``length_filter`` / ``bag_filter`` / ``qgram_filter``) and the
+        bounded pair-cache size.  These only change cost, never clustering
+        results.
     reuse_existing_signatures:
         When true, a new signature is only generated for a malicious cluster
         if no already-deployed signature for the same kit matches the
@@ -49,6 +56,8 @@ class KizzleConfig:
     label_thresholds: Dict[str, float] = field(
         default_factory=lambda: dict(DEFAULT_THRESHOLDS))
     signature: SignatureConfig = field(default_factory=SignatureConfig)
+    distance: DistanceEngineConfig = field(
+        default_factory=DistanceEngineConfig)
     reuse_existing_signatures: bool = True
     seed: int = 0
 

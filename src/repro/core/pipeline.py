@@ -56,7 +56,8 @@ class Kizzle:
             epsilon=self.config.epsilon,
             min_points=self.config.min_points,
             sim_cluster=SimCluster(machine_count=self.config.machines),
-            seed=self.config.seed)
+            seed=self.config.seed,
+            engine_config=self.config.distance)
 
     # ------------------------------------------------------------------
     # seeding

@@ -3,10 +3,22 @@
 Kizzle clusters samples by the edit distance between their abstract token
 strings (paper, Section III-A).  This package provides a from-scratch
 Levenshtein implementation over arbitrary hashable sequences, a banded
-variant that exploits the DBSCAN epsilon threshold to prune work, and the
-normalized distance used by the clustering layer.
+variant that exploits the DBSCAN epsilon threshold to prune work, Myers'
+bit-parallel exact kernel, and :class:`DistanceEngine` — the pruned,
+memoized, parallel batch layer the clustering stack issues its queries
+through.
 """
 
+from repro.distance.bitparallel import (
+    bitparallel_edit_distance,
+    build_pattern_mask,
+)
+from repro.distance.engine import (
+    DistanceEngine,
+    DistanceEngineConfig,
+    EngineStats,
+    PairDistanceCache,
+)
 from repro.distance.levenshtein import (
     edit_distance,
     banded_edit_distance,
@@ -17,14 +29,22 @@ from repro.distance.metrics import (
     TokenEditDistance,
     JaccardDistance,
     length_lower_bound,
+    qgram_lower_bound,
 )
 
 __all__ = [
     "edit_distance",
     "banded_edit_distance",
     "normalized_edit_distance",
+    "bitparallel_edit_distance",
+    "build_pattern_mask",
+    "DistanceEngine",
+    "DistanceEngineConfig",
+    "EngineStats",
+    "PairDistanceCache",
     "DistanceMetric",
     "TokenEditDistance",
     "JaccardDistance",
     "length_lower_bound",
+    "qgram_lower_bound",
 ]

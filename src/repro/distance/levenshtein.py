@@ -22,6 +22,11 @@ T = TypeVar("T")
 
 _INF = float("inf")
 
+#: Band width beyond which the bit-parallel kernel beats the banded DP.
+#: Below this the banded early-abort wins (O(band * n) with a quick exit);
+#: above it the DP approaches the full quadratic table.
+_BITPARALLEL_BAND_CUTOFF = 32
+
 
 def edit_distance(a: Sequence[T], b: Sequence[T]) -> int:
     """Classic Levenshtein distance between two sequences.
@@ -124,6 +129,16 @@ def normalized_edit_distance(a: Sequence[T], b: Sequence[T],
     if max_normalized is None:
         return edit_distance(a, b) / longest
     max_distance = int(max_normalized * longest)
+    if max_distance > _BITPARALLEL_BAND_CUTOFF:
+        # Wide band: the banded DP degenerates toward the full table, while
+        # Myers' bit-parallel kernel computes the exact distance in
+        # O(longest) big-int operations.  Same verdict, far less work.
+        from repro.distance.bitparallel import bitparallel_edit_distance
+
+        distance = bitparallel_edit_distance(a, b)
+        if distance > max_distance:
+            return 1.0
+        return distance / longest
     distance = banded_edit_distance(a, b, max_distance)
     if distance is None:
         return 1.0

@@ -30,6 +30,10 @@ class MapReduceReport:
     reduce_time: float
     map_results: List[TaskResult] = field(default_factory=list)
     reduce_value: Any = None
+    #: Distance-engine accounting for the whole job (pairs per pruning
+    #: layer, cache hits, kernel calls), attached by engine-backed callers
+    #: so benchmarks can attribute where the distance work went.
+    distance_stats: Optional[Dict[str, int]] = None
 
     @property
     def total_time(self) -> float:
@@ -47,7 +51,7 @@ class MapReduceReport:
 
     def summary(self) -> Dict[str, float]:
         """Flat summary dictionary suitable for benchmark reporting."""
-        return {
+        summary = {
             "machines": float(self.machine_count),
             "partitions": float(self.partitions),
             "scatter_s": self.scatter_time,
@@ -58,6 +62,10 @@ class MapReduceReport:
             "total_minutes": self.total_time / 60.0,
             "reduce_fraction": self.reduce_fraction,
         }
+        if self.distance_stats:
+            summary.update({f"distance_{name}": float(value)
+                            for name, value in self.distance_stats.items()})
+        return summary
 
 
 @dataclass

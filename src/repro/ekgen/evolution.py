@@ -245,8 +245,10 @@ def default_timeline() -> EvolutionTimeline:
         params={"marker": "Zq77Feed"}))
     timeline.add_event("angler", KitEvent(
         date=DATE(2014, 8, 13), kind="packer",
-        description="Java-exploit HTML snippet moved into the obfuscated body",
-        params={"exploit_string_in_html": False, "marker": "Nn3Plate"}))
+        description="Java-exploit HTML snippet moved into the obfuscated "
+                    "body; payload chunking widened in the same update",
+        params={"exploit_string_in_html": False, "marker": "Nn3Plate",
+                "chunk_size": 32}))
     timeline.add_event("angler", KitEvent(
         date=DATE(2014, 8, 21), kind="packer",
         description="packed-body marker rotated",

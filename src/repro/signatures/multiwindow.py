@@ -85,10 +85,19 @@ def common_token_windows(token_strings: Sequence[Sequence[str]],
 class MultiWindowSignature:
     """A signature made of several ordered regex fragments.
 
-    A sample matches when every fragment matches the scanner-normalized text
-    and the matches appear in the same order as the fragments (fragments are
-    extracted left-to-right from the first cluster sample, so order is a real
+    A sample matches when the fragments that match the scanner-normalized
+    text — in fragment order — cover at least ``min_coverage`` of the
+    signature's total window tokens.  With the default ``min_coverage`` of
+    1.0 every fragment must match in order (fragments are extracted
+    left-to-right from the first cluster sample, so order is a real
     constraint, not an artifact).
+
+    The compiler lowers ``min_coverage`` below 1.0: an attacker who
+    re-randomizes junk placement can land a statement inside *one* window of
+    a fresh variant, and requiring every window would hand back the evasion
+    the multi-window format exists to stop.  Tolerating a small missing
+    minority of window tokens keeps detection while benign samples — which
+    match essentially no windows — stay far below any reasonable threshold.
     """
 
     kit: str
@@ -96,6 +105,7 @@ class MultiWindowSignature:
     created: datetime.date
     token_lengths: List[int] = field(default_factory=list)
     source: str = "kizzle-multiwindow"
+    min_coverage: float = 1.0
     _compiled: Optional[List[re.Pattern]] = field(default=None, repr=False,
                                                   compare=False)
 
@@ -116,14 +126,39 @@ class MultiWindowSignature:
         return len(self.fragments)
 
     def matches(self, normalized_text: str) -> bool:
-        """Whether all fragments match, in order."""
+        """Whether enough fragments match, in order.
+
+        Fragments are scanned left to right; a fragment that does not match
+        after the previous hit is skipped (its window tokens count as
+        missed) and the scan continues with the next fragment from the same
+        position.  The sample matches when the matched windows cover at
+        least ``min_coverage`` of the total window tokens.
+        """
+        if not self.fragments:
+            # Degenerate signature: keep the pre-coverage semantics where
+            # an empty fragment loop vacuously matched.
+            return True
+        # When per-window token counts are unavailable (hand-built
+        # signatures), weight every fragment equally.
+        weights = self.token_lengths \
+            if len(self.token_lengths) == len(self.fragments) \
+            else [1] * len(self.fragments)
+        total = sum(weights)
+        required = self.min_coverage * total
+        matched = 0.0
+        remaining = float(total)
         position = 0
-        for pattern in self.compiled:
+        for pattern, weight in zip(self.compiled, weights):
             match = pattern.search(normalized_text, position)
-            if match is None:
+            if match is not None:
+                position = match.end()
+                matched += weight
+            remaining -= weight
+            if matched >= required:
+                return True
+            if matched + remaining < required:
                 return False
-            position = match.end()
-        return True
+        return matched >= required
 
     def matches_sample(self, content: str) -> bool:
         from repro.scanner.normalizer import normalize_for_scan
@@ -141,6 +176,11 @@ class MultiWindowConfig:
     min_total_tokens: int = 18
     use_backreferences: bool = False
     length_slack: float = 0.25
+    #: Fraction of total window tokens that must match (in order) for a
+    #: sample to count as detected.  Below 1.0 the signature survives junk
+    #: re-randomization landing inside a single window; benign samples match
+    #: essentially no windows, so false positives stay at zero.
+    min_coverage: float = 0.75
 
 
 class MultiWindowCompiler:
@@ -184,7 +224,8 @@ class MultiWindowCompiler:
             token_lengths.append(window.length)
         return MultiWindowSignature(kit=kit, fragments=fragments,
                                     created=created,
-                                    token_lengths=token_lengths)
+                                    token_lengths=token_lengths,
+                                    min_coverage=self.config.min_coverage)
 
     @staticmethod
     def _columns_for(window: CommonWindow, token_lists) -> List[TokenColumn]:
