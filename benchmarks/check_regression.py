@@ -1,0 +1,99 @@
+"""Benchmark-regression gate: compare the newest two ``BENCH_<date>.json``.
+
+Usage (CI runs this right after the benchmark suite)::
+
+    python benchmarks/check_regression.py [--threshold 0.25] [repo_root]
+
+The script finds the two most recent ``BENCH_*.json`` artifacts at the repo
+root, compares the mean runtime of every *named* benchmark present in both,
+and exits non-zero if any slowed down by more than the threshold (default
+25%).  Benchmarks present in only one artifact are reported but never fail
+the gate (new benchmarks appear, old ones are retired), and sub-50ms means
+are ignored — at that scale the signal is noise.
+
+Kept dependency-free and importable: the comparison logic
+(:func:`compare_runs`) is unit-tested in ``tests/test_bench_gate.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Tuple
+
+#: Means below this are treated as noise and never gated.
+MIN_GATED_SECONDS = 0.05
+
+
+def load_benchmarks(path: pathlib.Path) -> Dict[str, float]:
+    """Map benchmark name -> mean seconds from one artifact."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return {bench["name"]: float(bench["mean_s"])
+            for bench in payload.get("benchmarks", [])}
+
+
+def compare_runs(previous: Dict[str, float], current: Dict[str, float],
+                 threshold: float = 0.25
+                 ) -> Tuple[List[str], List[str]]:
+    """``(regressions, notes)`` between two name->mean mappings.
+
+    A regression is a benchmark in both runs whose mean grew by more than
+    ``threshold`` (fractional) and whose previous mean was large enough to
+    be meaningful.  Notes record benchmarks that appeared or disappeared.
+    """
+    regressions: List[str] = []
+    notes: List[str] = []
+    for name in sorted(set(previous) | set(current)):
+        if name not in previous:
+            notes.append(f"new benchmark: {name} "
+                         f"({current[name]:.3f}s)")
+            continue
+        if name not in current:
+            notes.append(f"benchmark disappeared: {name}")
+            continue
+        before, after = previous[name], current[name]
+        if before < MIN_GATED_SECONDS:
+            continue
+        growth = (after - before) / before
+        if growth > threshold:
+            regressions.append(
+                f"{name}: {before:.3f}s -> {after:.3f}s "
+                f"(+{growth:.0%}, threshold {threshold:.0%})")
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", nargs="?", default=".",
+                        help="repo root holding BENCH_*.json artifacts")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fractional slowdown that fails the gate")
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(args.root)
+    artifacts = sorted(root.glob("BENCH_*.json"))
+    if len(artifacts) < 2:
+        print(f"benchmark gate: {len(artifacts)} artifact(s) under "
+              f"{root} - nothing to compare, passing")
+        return 0
+    previous_path, current_path = artifacts[-2], artifacts[-1]
+    previous = load_benchmarks(previous_path)
+    current = load_benchmarks(current_path)
+    regressions, notes = compare_runs(previous, current,
+                                      threshold=args.threshold)
+    print(f"benchmark gate: {previous_path.name} -> {current_path.name}")
+    for note in notes:
+        print(f"  note: {note}")
+    if regressions:
+        for regression in regressions:
+            print(f"  REGRESSION {regression}")
+        return 1
+    print(f"  {len(set(previous) & set(current))} shared benchmark(s) "
+          f"within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,7 @@ def pytest_sessionfinish(session, exitstatus):
                 "stddev_s": bench.stats.stddev,
                 "min_s": bench.stats.min,
                 "max_s": bench.stats.max,
+                "extra_info": dict(bench.extra_info or {}),
             }
             for bench in bench_session.benchmarks
         ],

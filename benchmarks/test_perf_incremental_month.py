@@ -1,0 +1,81 @@
+"""Warm-versus-cold month benchmark (PR 2 headline number).
+
+Runs the default-scale month experiment twice — once cold (every day from
+scratch, the seed behaviour) and once warm (shedding + carry-forward + fast
+scanning) — and asserts the two contracts of the incremental pipeline:
+
+* identical per-day FP/FN metrics for both engines, every day;
+* the warm run is at least 5x faster end to end.
+
+The per-run timings are recorded as benchmark extra info so the nightly
+``BENCH_<date>.json`` artifact tracks the speedup PR over PR.
+"""
+
+from __future__ import annotations
+
+import datetime
+import time
+
+from repro.core.config import IncrementalConfig, KizzleConfig
+from repro.ekgen import StreamConfig
+from repro.evalharness import ExperimentConfig, MonthExperiment
+
+AUGUST_START = datetime.date(2014, 8, 1)
+AUGUST_END = datetime.date(2014, 8, 31)
+
+#: Required end-to-end speedup of the warm path over the cold path.
+MIN_SPEEDUP = 5.0
+
+
+def _month_config(incremental: bool) -> ExperimentConfig:
+    return ExperimentConfig(
+        start=AUGUST_START, end=AUGUST_END, seed_days=3,
+        stream=StreamConfig(
+            benign_per_day=30,
+            kit_daily_counts={"angler": 14, "sweetorange": 6, "nuclear": 5,
+                              "rig": 3},
+            seed=20140801),
+        kizzle=KizzleConfig(
+            machines=10, min_points=3,
+            incremental=IncrementalConfig(enabled=incremental)))
+
+
+def _day_metrics(day) -> tuple:
+    return (day.kizzle.confusion.false_positives,
+            day.kizzle.confusion.false_negatives,
+            day.av.confusion.false_positives,
+            day.av.confusion.false_negatives)
+
+
+def test_incremental_month_speedup_and_equivalence(benchmark):
+    started = time.perf_counter()
+    cold_report = MonthExperiment(_month_config(False)).run()
+    cold_seconds = time.perf_counter() - started
+
+    def run_warm():
+        return MonthExperiment(_month_config(True)).run()
+
+    warm_report = benchmark.pedantic(run_warm, rounds=1, iterations=1)
+    warm_seconds = benchmark.stats.stats.mean
+
+    assert len(cold_report.days) == len(warm_report.days) == 31
+    for cold_day, warm_day in zip(cold_report.days, warm_report.days):
+        assert _day_metrics(cold_day) == _day_metrics(warm_day), \
+            f"metrics diverged on {cold_day.date}"
+    assert cold_report.overall_rates() == warm_report.overall_rates()
+
+    speedup = cold_seconds / warm_seconds
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 3)
+    benchmark.extra_info["warm_seconds"] = round(warm_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    shed_total = sum(day.shed_count for day in warm_report.days)
+    sample_total = sum(day.sample_count for day in warm_report.days)
+    benchmark.extra_info["shed_total"] = shed_total
+    benchmark.extra_info["shed_fraction"] = round(
+        shed_total / sample_total, 3)
+    # The warm path must actually be shedding the known bulk of the
+    # stream, not just winning on caching.
+    assert shed_total > 0.3 * sample_total
+    assert speedup >= MIN_SPEEDUP, \
+        f"warm path only {speedup:.2f}x faster (cold {cold_seconds:.1f}s, " \
+        f"warm {warm_seconds:.1f}s); need >= {MIN_SPEEDUP}x"

@@ -27,7 +27,7 @@ import datetime
 import sys
 from typing import List, Optional, Sequence
 
-from repro.core.config import KizzleConfig
+from repro.core.config import IncrementalConfig, KizzleConfig
 from repro.core.pipeline import Kizzle
 from repro.distance.engine import DistanceEngineConfig
 from repro.ekgen.telemetry import StreamConfig, TelemetryGenerator
@@ -85,6 +85,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--distance-cache", type=_nonnegative_int,
                         default=DistanceEngineConfig.cache_size,
                         help="bounded pair-distance cache size (entries)")
+    parser.add_argument("--incremental", action="store_true",
+                        help="enable the day-over-day warm path: shed "
+                             "known samples, carry clusters forward, scan "
+                             "with the fast normal form")
+    parser.add_argument("--no-shed", action="store_true",
+                        help="with --incremental: disable known-sample "
+                             "shedding")
+    parser.add_argument("--no-carry-forward", action="store_true",
+                        help="with --incremental: disable cluster label "
+                             "carry-forward")
+    parser.add_argument("--scan-mode", choices=("fast", "exact"),
+                        default="fast",
+                        help="with --incremental: normal form used for "
+                             "scanning (default fast)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="multiply all stream volumes (e.g. 200 for a "
+                             "paper-scale ~20k-sample day)")
 
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -108,11 +125,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _stream_config(args: argparse.Namespace) -> StreamConfig:
-    return StreamConfig(
+    config = StreamConfig(
         benign_per_day=args.benign,
         kit_daily_counts={"angler": args.angler, "nuclear": args.nuclear,
                           "sweetorange": args.sweetorange, "rig": args.rig},
         seed=args.seed)
+    if args.scale != 1.0:
+        config = config.scaled(args.scale)
+    return config
+
+
+def _incremental_config(args: argparse.Namespace) -> IncrementalConfig:
+    return IncrementalConfig(
+        enabled=args.incremental,
+        shed_known=not args.no_shed,
+        carry_forward=not args.no_carry_forward,
+        scan_mode=args.scan_mode)
 
 
 def _engine_config(args: argparse.Namespace) -> DistanceEngineConfig:
@@ -128,7 +156,8 @@ def _seeded_kizzle(generator: TelemetryGenerator,
                    args: argparse.Namespace,
                    seed_date: datetime.date) -> Kizzle:
     kizzle = Kizzle(KizzleConfig(machines=args.machines,
-                                 distance=_engine_config(args)))
+                                 distance=_engine_config(args),
+                                 incremental=_incremental_config(args)))
     for kit in DEFAULT_KITS:
         kizzle.seed_known_kit(kit, [generator.reference_core(kit, seed_date)])
     return kizzle
@@ -147,6 +176,11 @@ def command_process_day(args: argparse.Namespace, out) -> int:
           f"({len(result.malicious_clusters)} malicious), "
           f"{result.noise_count} noise, "
           f"{len(result.new_signatures)} new signatures", file=out)
+    if result.shed_count:
+        by_kit = ", ".join(f"{kit}: {count}" for kit, count
+                           in sorted(result.shed_by_kit().items()))
+        print(f"  shed {result.shed_count} known samples ({by_kit})",
+              file=out)
     for report in result.clusters:
         verdict = report.kit or "benign"
         print(f"  cluster size={report.size:3d} -> {verdict} "
@@ -193,7 +227,8 @@ def command_evaluate(args: argparse.Namespace, out) -> int:
                               stream=_stream_config(args),
                               kizzle=KizzleConfig(
                                   machines=args.machines,
-                                  distance=_engine_config(args)))
+                                  distance=_engine_config(args),
+                                  incremental=_incremental_config(args)))
     report = MonthExperiment(config).run()
     fn = report.fn_series()
     print(format_day_series(fn["dates"], {"Kizzle FN": fn["kizzle"],

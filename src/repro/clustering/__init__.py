@@ -13,10 +13,13 @@ from repro.clustering.partition import (
     cluster_partition,
     DistributedClusterer,
 )
+from repro.clustering.carryforward import CarryForwardIndex, ClusterAnchor
 from repro.clustering.merge import merge_clusters
 from repro.clustering.prototypes import select_prototype, medoid_index
 
 __all__ = [
+    "CarryForwardIndex",
+    "ClusterAnchor",
     "DBSCAN",
     "DBSCANResult",
     "NOISE",

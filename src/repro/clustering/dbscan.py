@@ -100,12 +100,27 @@ class DBSCAN:
             self.engine = DistanceEngine(DistanceEngineConfig())
 
     # ------------------------------------------------------------------
-    def fit(self, points: Sequence[Tuple[str, ...]]) -> DBSCANResult:
-        """Cluster the given token strings."""
+    def fit(self, points: Sequence[Tuple[str, ...]],
+            weights: Optional[Sequence[int]] = None) -> DBSCANResult:
+        """Cluster the given token strings.
+
+        ``weights`` optionally assigns each point a multiplicity toward the
+        ``min_points`` density requirement (default 1).  The incremental
+        pipeline uses this to cluster *sentinel* points that stand in for a
+        whole group of shed duplicates: a sentinel with weight ``w`` behaves
+        exactly like ``w`` co-located copies, which is also how exact
+        duplicates are already handled internally.
+        """
         self._comparisons = 0
         unique_points, owners = self._deduplicate(points)
-        weights = [len(indices) for indices in owners]
-        unique_labels = self._cluster_unique(unique_points, weights)
+        if weights is None:
+            unique_weights = [len(indices) for indices in owners]
+        else:
+            if len(weights) != len(points):
+                raise ValueError("weights must match points")
+            unique_weights = [sum(weights[index] for index in indices)
+                              for indices in owners]
+        unique_labels = self._cluster_unique(unique_points, unique_weights)
         labels = [NOISE] * len(points)
         for unique_index, point_indices in enumerate(owners):
             for point_index in point_indices:

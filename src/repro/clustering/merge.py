@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.distance.engine import DistanceEngine
 
 
-class _UnionFind:
+class UnionFind:
     """Plain union-find with path compression, used for cluster merging."""
 
     def __init__(self, size: int) -> None:
@@ -59,7 +59,7 @@ def merge_clusters(per_partition: Sequence[Sequence["Cluster"]],
     engine = engine or DistanceEngine()
     prototypes = [cluster.prototype.tokens for cluster in flat]
     hits, comparisons = engine.pairs_within(prototypes, epsilon)
-    union = _UnionFind(len(flat))
+    union = UnionFind(len(flat))
     for i, j in hits:
         union.union(i, j)
 
@@ -72,7 +72,8 @@ def merge_clusters(per_partition: Sequence[Sequence["Cluster"]],
                                             key=lambda idx: idx[0])):
         samples = [sample for index in indices for sample in flat[index].samples]
         prototype_index = select_prototype(
-            [sample.tokens for sample in samples], engine=engine)
+            [sample.tokens for sample in samples], engine=engine,
+            weights=[sample.weight for sample in samples])
         merged.append(Cluster(cluster_id=new_id, samples=samples,
                               prototype_index=prototype_index))
     return merged, comparisons

@@ -36,11 +36,17 @@ class ClusteredSample:
     tokens:
         The abstract token string; computed lazily by the pipeline if not
         supplied.
+    weight:
+        Multiplicity of the sample.  Ordinary samples weigh 1; the
+        incremental pipeline collapses a group of shed near-duplicates into
+        one *sentinel* sample whose weight is the group size, so density and
+        prototype selection behave as if every copy were present.
     """
 
     sample_id: str
     content: str
     tokens: Tuple[str, ...] = field(default_factory=tuple)
+    weight: int = 1
 
     @classmethod
     def from_content(cls, sample_id: str, content: str) -> "ClusteredSample":
@@ -51,7 +57,8 @@ class ClusteredSample:
         if self.tokens:
             return self
         return ClusteredSample(sample_id=self.sample_id, content=self.content,
-                               tokens=abstract_token_string(self.content))
+                               tokens=abstract_token_string(self.content),
+                               weight=self.weight)
 
 
 @dataclass
@@ -65,6 +72,11 @@ class Cluster:
     @property
     def size(self) -> int:
         return len(self.samples)
+
+    @property
+    def weighted_size(self) -> int:
+        """Total multiplicity including sentinel weights."""
+        return sum(sample.weight for sample in self.samples)
 
     @property
     def prototype(self) -> ClusteredSample:
@@ -112,14 +124,16 @@ def cluster_partition(samples: Sequence[ClusteredSample],
     engine = engine or DistanceEngine()
     result = DBSCAN(epsilon=epsilon, min_points=min_points,
                     engine=engine).fit(
-        [sample.tokens for sample in prepared])
+        [sample.tokens for sample in prepared],
+        weights=[sample.weight for sample in prepared])
     clusters: List[Cluster] = []
     for label, indices in sorted(result.members().items()):
         if label == NOISE:
             continue
         members = [prepared[i] for i in indices]
         prototype_index = select_prototype([m.tokens for m in members],
-                                           engine=engine)
+                                           engine=engine,
+                                           weights=[m.weight for m in members])
         clusters.append(Cluster(cluster_id=label, samples=members,
                                 prototype_index=prototype_index))
     return clusters, result.comparisons

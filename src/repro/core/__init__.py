@@ -3,13 +3,17 @@ records.  This package is the paper's primary contribution; everything else
 under :mod:`repro` is a substrate it builds on.
 """
 
-from repro.core.config import KizzleConfig
-from repro.core.results import ClusterReport, DailyResult
+from repro.core.config import IncrementalConfig, KizzleConfig
+from repro.core.prepared import PreparedCache
+from repro.core.results import ClusterReport, DailyResult, ShedRecord
 from repro.core.pipeline import Kizzle
 
 __all__ = [
+    "IncrementalConfig",
     "KizzleConfig",
+    "PreparedCache",
     "ClusterReport",
     "DailyResult",
+    "ShedRecord",
     "Kizzle",
 ]

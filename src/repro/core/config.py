@@ -12,6 +12,64 @@ from repro.winnowing.fingerprint import DEFAULT_K, DEFAULT_WINDOW
 
 
 @dataclass
+class IncrementalConfig:
+    """Knobs of the incremental (day-over-day warm) pipeline.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  Off (the default) reproduces the original cold-start
+        behaviour byte for byte: every day re-tokenizes, re-clusters and
+        re-labels from scratch.
+    shed_known:
+        Set aside, before tokenization, samples that are exact-content
+        repeats of already-labeled material or that are matched by an
+        already-deployed signature (the paper's "most of the stream is the
+        same grayware every day").  Shed samples are counted per kit in the
+        daily result; an unmatched sample is never shed.
+    carry_forward:
+        Inject yesterday's cluster prototypes as pre-labeled anchors:
+        samples within ``epsilon`` of an anchor are absorbed into the
+        anchor's cluster (inheriting its label without re-unpacking or
+        re-winnowing) and only the residual novel material enters DBSCAN.
+    scan_mode:
+        ``"exact"`` scans with the lexer-based normal form; ``"fast"``
+        (the warm default when enabled) scans with
+        :func:`~repro.scanner.normalizer.fast_normalize` plus the
+        literal-anchor prefilter.  Fast mode is verdict-equivalent on the
+        synthetic stream (asserted by tests); exact mode is the fallback
+        for content the fast normalizer was not designed for.
+    anchor_ttl_days:
+        Days a carry-forward anchor survives without absorbing anything
+        before it is dropped (stale prototypes stop paying rent).
+    max_anchors:
+        Upper bound on carried anchors; the least recently refreshed are
+        dropped first.
+    prepared_cache_entries:
+        Bound of the per-content preparation cache
+        (:class:`~repro.core.prepared.PreparedCache`).
+    """
+
+    enabled: bool = False
+    shed_known: bool = True
+    carry_forward: bool = True
+    scan_mode: str = "fast"
+    anchor_ttl_days: int = 7
+    max_anchors: int = 256
+    prepared_cache_entries: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.scan_mode not in ("exact", "fast"):
+            raise ValueError("scan_mode must be 'exact' or 'fast'")
+        if self.anchor_ttl_days < 1:
+            raise ValueError("anchor_ttl_days must be at least 1")
+        if self.max_anchors < 1:
+            raise ValueError("max_anchors must be at least 1")
+        if self.prepared_cache_entries < 1:
+            raise ValueError("prepared_cache_entries must be positive")
+
+
+@dataclass
 class KizzleConfig:
     """All tuning knobs of the pipeline in one place (paper, Section V
     "Tuning the ML" discusses exactly these).
@@ -45,6 +103,9 @@ class KizzleConfig:
         if no already-deployed signature for the same kit matches the
         cluster's samples — this is what makes the Figure 12 "steps" appear
         only when the kit actually changes.
+    incremental:
+        Day-over-day warm-path settings (shedding, carry-forward, fast
+        scanning); disabled by default.  See :class:`IncrementalConfig`.
     """
 
     epsilon: float = 0.10
@@ -59,6 +120,7 @@ class KizzleConfig:
     distance: DistanceEngineConfig = field(
         default_factory=DistanceEngineConfig)
     reuse_existing_signatures: bool = True
+    incremental: IncrementalConfig = field(default_factory=IncrementalConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -5,20 +5,44 @@ over abstract token strings), label every cluster benign or as a known kit by
 unpacking its prototype and winnowing it against the seeded corpus, and for
 malicious clusters whose samples are not already covered by a deployed
 signature, compile a new structural signature from the packed samples.
+
+Two execution paths share that loop:
+
+* the **cold path** (default) treats every day as independent, exactly as
+  the seed reproduction did;
+* the **warm path** (``config.incremental.enabled``) reuses day N-1's work
+  on day N.  Samples already matched by a deployed signature — or exact
+  repeats of already-labeled content — are *shed* before tokenization
+  (paper: "most of the stream is the same grayware every day"); each shed
+  group leaves behind one tokenized *sentinel* sample carrying the group's
+  weight, so the clustering stage sees the same density geometry the cold
+  path would (a sentinel of weight ``w`` is indistinguishable from the ``w``
+  exact duplicates DBSCAN already collapses).  Survivors are tokenized once
+  per unique content through a shared
+  :class:`~repro.core.prepared.PreparedCache` and clustered together with
+  the sentinels; clusters whose prototype lands within epsilon of one of
+  yesterday's prototypes inherit that cluster's label without re-unpacking
+  or re-winnowing (:mod:`repro.clustering.carryforward`).  Novel clusters —
+  and carried kit clusters whose samples a deployed signature no longer
+  covers — go through the full label/compile machinery, so kit updates
+  still produce new signatures the same way the cold path produces them.
 """
 
 from __future__ import annotations
 
 import datetime
-from typing import Iterable, List, Optional, Sequence, Tuple
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.clustering.carryforward import CarryForwardIndex
 from repro.clustering.partition import Cluster, ClusteredSample, \
     DistributedClusterer
 from repro.core.config import KizzleConfig
-from repro.core.results import ClusterReport, DailyResult
+from repro.core.prepared import PreparedCache
+from repro.core.results import ClusterReport, DailyResult, ShedRecord
 from repro.distsim.mapreduce import SimCluster
 from repro.labeling.corpus import KnownKitCorpus
-from repro.labeling.labeler import ClusterLabeler
+from repro.labeling.labeler import ClusterLabel, ClusterLabeler
 from repro.scanner.engine import ScanEngine, SignatureDatabase
 from repro.scanner.normalizer import normalize_for_scan
 from repro.signatures.compiler import SignatureCompiler
@@ -50,7 +74,6 @@ class Kizzle:
             thresholds=dict(self.config.label_thresholds))
         self.registry = registry or default_registry()
         self.labeler = ClusterLabeler(self.corpus, self.registry)
-        self.compiler = SignatureCompiler(self.config.signature)
         self.database = SignatureDatabase()
         self.clusterer = DistributedClusterer(
             epsilon=self.config.epsilon,
@@ -58,6 +81,33 @@ class Kizzle:
             sim_cluster=SimCluster(machine_count=self.config.machines),
             seed=self.config.seed,
             engine_config=self.config.distance)
+        incremental = self.config.incremental
+        self.prepared = PreparedCache(
+            max_entries=incremental.prepared_cache_entries)
+        # On the warm path the compiler reads tokens from the shared cache,
+        # so compiling a signature from already-clustered members costs no
+        # extra lexing; the cold path keeps the plain lexer.
+        self.compiler = SignatureCompiler(
+            self.config.signature,
+            tokenizer=self.prepared.raw_tokens if incremental.enabled
+            else None)
+        self.carry = CarryForwardIndex(
+            epsilon=self.config.epsilon,
+            engine=self.clusterer.engine,
+            ttl_days=incremental.anchor_ttl_days,
+            max_anchors=incremental.max_anchors)
+        #: content digest -> (kit-or-None, date recorded) for content
+        #: labeled on a previous day; drives the exact-repeat shedding
+        #: branch.  Entries expire after ``anchor_ttl_days`` — label
+        #: inheritance is advisory, so a verdict that reached the ledger
+        #: through a carried label must not outlive the anchors it came
+        #: from.
+        self._known_contents: Dict[bytes, Tuple[Optional[str],
+                                                datetime.date]] = {}
+        self._carry_comparisons_charged = 0
+        #: Shared scan-verdict memo (see ScanEngine): the shedding stage and
+        #: the same-day evaluation scans resolve each content once.
+        self._scan_memo: Dict = {}
 
     # ------------------------------------------------------------------
     # seeding
@@ -78,10 +128,22 @@ class Kizzle:
         any newly generated signatures; new signatures are also added to the
         deployed :attr:`database` with ``created=date``.
         """
+        if self.config.incremental.enabled:
+            return self._process_day_warm(samples, date)
+        return self._process_day_cold(samples, date)
+
+    # -- cold path: every day from scratch ------------------------------
+    def _process_day_cold(self, samples: Sequence[Tuple[str, str]],
+                          date: datetime.date) -> DailyResult:
+        stage_start = time.perf_counter()
         prepared = [ClusteredSample.from_content(sample_id, content)
                     for sample_id, content in samples]
+        prepare_seconds = time.perf_counter() - stage_start
+
+        stage_start = time.perf_counter()
         clusters, timing = self.clusterer.run(
             prepared, partitions=self.config.partitions)
+        cluster_seconds = time.perf_counter() - stage_start
 
         result = DailyResult(date=date, timing=timing,
                              sample_count=len(prepared))
@@ -89,6 +151,7 @@ class Kizzle:
                          for cluster in clusters for sample in cluster.samples}
         result.noise_count = len(prepared) - len(clustered_ids)
 
+        stage_start = time.perf_counter()
         for cluster in clusters:
             label = self.labeler.label_cluster(cluster)
             report = ClusterReport(cluster=cluster, label=label)
@@ -102,7 +165,234 @@ class Kizzle:
                     # corpus so the kit can be tracked as it drifts.
                     self.corpus.add(label.kit, label.unpacked, collected=date)
             result.clusters.append(report)
+        label_seconds = time.perf_counter() - stage_start
+        timing.wall_stage_seconds.update({
+            "prepare": prepare_seconds,
+            "cluster": cluster_seconds,
+            "label_and_compile": label_seconds,
+        })
         return result
+
+    # -- warm path: shed to sentinels, cluster, inherit labels -----------
+    def _process_day_warm(self, samples: Sequence[Tuple[str, str]],
+                          date: datetime.date) -> DailyResult:
+        incremental = self.config.incremental
+        engine = ScanEngine(self.database, mode=incremental.scan_mode,
+                            prepared=self.prepared, memo=self._scan_memo)
+
+        # Stage 1: known-sample shedding (before any tokenization).  Every
+        # shed group — keyed by the first deployed signature that matched,
+        # or by exact content for repeats of already-labeled material —
+        # leaves one tokenized sentinel carrying the group's weight, so the
+        # clustering stage keeps the cold path's density geometry.
+        stage_start = time.perf_counter()
+        shed: List[ShedRecord] = []
+        shed_kits: Set[str] = set()
+        scanned_bytes = 0
+        survivors: List[ClusteredSample] = []
+        sentinels: Dict[object, ClusteredSample] = {}
+        any_deployed = incremental.shed_known and len(self.database) > 0
+        for sample_id, content in samples:
+            if not incremental.shed_known:
+                survivors.append(ClusteredSample(
+                    sample_id=sample_id, content=content,
+                    tokens=self.prepared.abstract_tokens(content)))
+                continue
+            digest = PreparedCache.content_key(content)
+            known = self._recall_content(digest, date)
+            if known is not None:
+                kit = known[0]
+                shed.append(ShedRecord(sample_id=sample_id,
+                                       reason="known-content", kit=kit))
+                if kit is not None:
+                    shed_kits.add(kit)
+                scanned_bytes += len(content)
+                self._add_sentinel(sentinels, ("content", digest),
+                                   sample_id, content)
+                continue
+            if any_deployed:
+                scanned_bytes += len(content)
+                verdict = engine.scan(sample_id, content, as_of=date)
+                if verdict.detected:
+                    matched = verdict.matched_signatures[0]
+                    kit = matched.kit
+                    shed.append(ShedRecord(sample_id=sample_id,
+                                           reason="signature", kit=kit))
+                    shed_kits.add(kit)
+                    self._remember_content(digest, kit, date)
+                    self._add_sentinel(sentinels,
+                                       ("sig", matched.signature_id),
+                                       sample_id, content)
+                    continue
+            survivors.append(ClusteredSample(
+                sample_id=sample_id, content=content,
+                tokens=self.prepared.abstract_tokens(content)))
+        shed_seconds = time.perf_counter() - stage_start
+
+        # Stage 2: cluster survivors and sentinels together.  Sentinel
+        # weights feed the DBSCAN density requirement and prototype
+        # selection, so the result matches clustering the full batch.
+        stage_start = time.perf_counter()
+        prepared = survivors + list(sentinels.values())
+        clusters, timing = self.clusterer.run(
+            prepared, partitions=self.config.partitions)
+        cluster_seconds = time.perf_counter() - stage_start
+
+        sentinel_ids = {sample.sample_id for sample in sentinels.values()}
+        result = DailyResult(date=date, timing=timing,
+                             sample_count=len(samples), shed=shed)
+        clustered_real = {sample.sample_id
+                          for cluster in clusters
+                          for sample in cluster.samples
+                          if sample.sample_id not in sentinel_ids}
+        result.noise_count = len(survivors) - len(clustered_real)
+
+        # Stage 3: label (inheriting from yesterday's anchors when the
+        # prototype carried over) and compile.
+        stage_start = time.perf_counter()
+        for cluster in clusters:
+            carried_label: Optional[ClusterLabel] = None
+            if incremental.carry_forward:
+                anchor = self.carry.match(cluster.prototype.tokens)
+                if anchor is not None:
+                    carried_label = ClusterLabel(
+                        kit=anchor.kit, overlap=anchor.overlap,
+                        best_family=anchor.best_family, unpacked="",
+                        layers=anchor.layers)
+            if carried_label is not None:
+                result.carried_cluster_count += 1
+                result.absorbed_count += sum(
+                    sample.weight for sample in cluster.samples
+                    if sample.sample_id not in sentinel_ids)
+                report = self._report_for(cluster, carried_label, date,
+                                          carried=True)
+            else:
+                label = self.labeler.label_cluster(cluster)
+                report = self._report_for(cluster, label, date, carried=False)
+            result.clusters.append(report)
+            if report.signature is not None:
+                result.new_signatures.append(report.signature)
+        label_seconds = time.perf_counter() - stage_start
+
+        # Remember every labeled real content for the exact-repeat shedding
+        # branch, and roll the anchors forward.
+        for report in result.clusters:
+            for sample in report.cluster.samples:
+                if sample.sample_id in sentinel_ids:
+                    continue
+                self._remember_content(
+                    PreparedCache.content_key(sample.content),
+                    report.label.kit, date)
+        if incremental.carry_forward:
+            if shed_kits:
+                self.carry.refresh_kits(sorted(shed_kits), date)
+            self.carry.update(result.clusters, date)
+
+        # Charge the incremental stages against the simulated pool so the
+        # virtual daily wall-clock stays honest: every byte the shedding
+        # stage *scanned* is charged (survivors that failed the scan cost
+        # real work too — the warm path only gets credit for work it truly
+        # sheds), and anchor probes are charged at banded-DP cost.
+        average_length = 1.0
+        if prepared:
+            average_length = sum(len(sample.tokens)
+                                 for sample in prepared) / len(prepared)
+        spec = self.clusterer.sim_cluster.machine_spec
+        timing.charge_stage("shed", float(scanned_bytes),
+                            machine_count=self.config.machines, spec=spec)
+        probes = self.carry.comparisons - self._carry_comparisons_charged
+        self._carry_comparisons_charged = self.carry.comparisons
+        timing.charge_stage(
+            "carry_forward",
+            probes * max(1.0, self.config.epsilon * average_length)
+            * average_length,
+            machine_count=self.config.machines, spec=spec)
+        timing.wall_stage_seconds.update({
+            "shed": shed_seconds,
+            "cluster": cluster_seconds,
+            "label_and_compile": label_seconds,
+        })
+        return result
+
+    def _add_sentinel(self, sentinels: Dict[object, ClusteredSample],
+                      key: object, sample_id: str, content: str) -> None:
+        """Record one shed sample in its group's sentinel.
+
+        The first sample of a group is tokenized (through the preparation
+        cache) and becomes the sentinel; later samples only bump its weight.
+        """
+        sentinel = sentinels.get(key)
+        if sentinel is None:
+            sentinels[key] = ClusteredSample(
+                sample_id=f"sentinel-{len(sentinels)}-{sample_id}",
+                content=content,
+                tokens=self.prepared.abstract_tokens(content))
+        else:
+            sentinel.weight += 1
+
+    def _report_for(self, cluster: Cluster, label: ClusterLabel,
+                    date: datetime.date, carried: bool) -> ClusterReport:
+        """Build the report for one cluster, compiling a signature when the
+        cluster is malicious and not already covered.
+
+        A carried kit cluster that turns out *not* to be covered (the kit
+        changed under the anchor) is re-labeled for real first — the corpus
+        feedback needs a genuine unpacked prototype, and the re-label also
+        revalidates the inherited verdict before a signature ships.
+        """
+        if label.kit is None:
+            return ClusterReport(cluster=cluster, label=label)
+        contents = cluster.contents()
+        if self.config.reuse_existing_signatures and \
+                self._already_covered(contents, label.kit, date):
+            return ClusterReport(cluster=cluster, label=label)
+        if carried:
+            label = self.labeler.label_cluster(cluster)
+            if label.kit is None:
+                return ClusterReport(cluster=cluster, label=label)
+        report = ClusterReport(cluster=cluster, label=label)
+        signature = self.compiler.compile_cluster(contents, label.kit, date)
+        if signature is not None:
+            report.signature = signature
+            self.database.add(signature)
+            self.corpus.add(label.kit, label.unpacked, collected=date)
+        return report
+
+    def _remember_content(self, digest: bytes, kit: Optional[str],
+                          date: datetime.date) -> None:
+        # Pop before reassigning so a re-recorded digest moves to the end
+        # of the dict: the size bound below drops from the front, and
+        # without the move it would evict exactly the contents that repeat
+        # every day.
+        self._known_contents.pop(digest, None)
+        self._known_contents[digest] = (kit, date)
+        if len(self._known_contents) > 4 * \
+                self.config.incremental.prepared_cache_entries:
+            # Crude bound: drop the least recently touched half.
+            for key in list(self._known_contents)[
+                    :len(self._known_contents) // 2]:
+                del self._known_contents[key]
+
+    def _recall_content(self, digest: bytes, date: datetime.date
+                        ) -> Optional[Tuple[Optional[str], datetime.date]]:
+        """The ledger entry for a digest, unless it has expired.
+
+        Entries older than ``anchor_ttl_days`` are dropped: a verdict that
+        entered the ledger through an inherited label must not outlive the
+        anchor generation that produced it.
+        """
+        entry = self._known_contents.get(digest)
+        if entry is None:
+            return None
+        horizon = date - datetime.timedelta(
+            days=self.config.incremental.anchor_ttl_days)
+        if entry[1] < horizon:
+            del self._known_contents[digest]
+            return None
+        # Refresh the entry's position (not its date) so the eviction bound
+        # in _remember_content treats daily-repeating content as hot.
+        self._known_contents[digest] = self._known_contents.pop(digest)
+        return entry
 
     # ------------------------------------------------------------------
     # signature management
@@ -122,6 +412,20 @@ class Kizzle:
         existing = self.database.signatures_for(kit=kit, as_of=date)
         if not existing:
             return False
+        if self.config.incremental.enabled:
+            engine = ScanEngine(self.database,
+                                mode=self.config.incremental.scan_mode,
+                                prepared=self.prepared)
+            # Newest first: on a stable day the latest signature is the one
+            # that matches, so the ``any`` below exits on its first probe.
+            ordered = list(reversed(existing))
+            for content in contents:
+                normalized = engine.normal_form(content)
+                if not any(signature.matches(normalized)
+                           for signature in ordered
+                           if signature.could_match(normalized)):
+                    return False
+            return True
         for content in contents:
             normalized = normalize_for_scan(content)
             if not any(signature.matches(normalized) for signature in existing):
@@ -132,12 +436,22 @@ class Kizzle:
     # scanning with the generated signatures
     # ------------------------------------------------------------------
     def scan_engine(self) -> ScanEngine:
-        """A scan engine over the signatures generated so far."""
+        """A scan engine over the signatures generated so far.
+
+        On the warm path the engine shares the pipeline's preparation cache
+        and scan mode, so evaluating a day's detections does not re-tokenize
+        content the pipeline already prepared.
+        """
+        if self.config.incremental.enabled:
+            return ScanEngine(self.database,
+                              mode=self.config.incremental.scan_mode,
+                              prepared=self.prepared, memo=self._scan_memo)
         return ScanEngine(self.database)
 
     def detects(self, content: str,
                 as_of: Optional[datetime.date] = None) -> bool:
         """Whether any deployed signature matches the sample."""
-        normalized = normalize_for_scan(content)
-        return any(signature.matches(normalized)
-                   for signature in self.database.signatures_for(as_of=as_of))
+        engine = self.scan_engine()
+        normalized = engine.normal_form(content)
+        return bool(engine.matching_signatures(
+            normalized, self.database.signatures_for(as_of=as_of)))

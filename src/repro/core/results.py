@@ -30,8 +30,28 @@ class ClusterReport:
 
 
 @dataclass
+class ShedRecord:
+    """One sample set aside by the known-sample shedding stage."""
+
+    sample_id: str
+    #: ``"signature"`` (matched by a deployed signature), ``"known-content"``
+    #: (exact repeat of already-labeled content).
+    reason: str
+    #: The kit the sample was attributed to; ``None`` for known-benign.
+    kit: Optional[str] = None
+
+
+@dataclass
 class DailyResult:
-    """Everything produced by one day of processing."""
+    """Everything produced by one day of processing.
+
+    The incremental warm path additionally reports which samples were shed
+    before tokenization (:attr:`shed`), how many were absorbed into
+    carried-forward clusters (:attr:`absorbed_count`) versus freshly
+    clustered, and how many of the day's clusters inherited yesterday's
+    label without re-unpacking (:attr:`carried_cluster_count`).  On the cold
+    path all of these stay at their empty defaults.
+    """
 
     date: datetime.date
     clusters: List[ClusterReport] = field(default_factory=list)
@@ -39,6 +59,21 @@ class DailyResult:
     timing: Optional[MapReduceReport] = None
     sample_count: int = 0
     noise_count: int = 0
+    shed: List[ShedRecord] = field(default_factory=list)
+    absorbed_count: int = 0
+    carried_cluster_count: int = 0
+
+    @property
+    def shed_count(self) -> int:
+        return len(self.shed)
+
+    def shed_by_kit(self) -> Dict[str, int]:
+        """Shed-sample counts keyed by kit (benign under ``"benign"``)."""
+        counts: Dict[str, int] = {}
+        for record in self.shed:
+            key = record.kit if record.kit is not None else "benign"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
 
     @property
     def cluster_count(self) -> int:
@@ -60,7 +95,7 @@ class DailyResult:
 
     def summary(self) -> Dict[str, object]:
         """Compact summary used by the reporting layer."""
-        return {
+        summary = {
             "date": self.date.isoformat(),
             "samples": self.sample_count,
             "clusters": self.cluster_count,
@@ -70,3 +105,8 @@ class DailyResult:
             "processing_minutes": (self.timing.total_time / 60.0
                                    if self.timing else 0.0),
         }
+        if self.shed or self.absorbed_count:
+            summary["shed_samples"] = self.shed_count
+            summary["absorbed_samples"] = self.absorbed_count
+            summary["carried_clusters"] = self.carried_cluster_count
+        return summary

@@ -60,6 +60,27 @@ class StreamConfig:
             seed=self.seed,
         )
 
+    @classmethod
+    def paper_scale(cls, samples_per_day: int = 80_000,
+                    seed: int = 20140801) -> "StreamConfig":
+        """A stream sized like the paper's telemetry (80k-500k samples/day).
+
+        The default-volume ratios (Figure 14 prevalence) are preserved and
+        scaled so the configured *mean* daily volume reaches
+        ``samples_per_day``.  Jitter still applies, so actual days vary
+        around the target the same way the small stream does.
+        """
+        if samples_per_day < 1:
+            raise ValueError("samples_per_day must be positive")
+        base = cls(seed=seed)
+        base_total = base.benign_per_day + sum(base.kit_daily_counts.values())
+        return base.scaled(samples_per_day / base_total)
+
+    @property
+    def mean_daily_volume(self) -> int:
+        """Mean configured samples per day (before jitter)."""
+        return self.benign_per_day + sum(self.kit_daily_counts.values())
+
 
 @dataclass
 class DailyBatch:

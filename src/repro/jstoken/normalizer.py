@@ -77,15 +77,14 @@ def abstract_classes(tokens: Sequence[Token],
     return tuple(names)
 
 
-def abstract_token_string(document: str, collapse: bool = True) -> Tuple[str, ...]:
-    """Tokenize a sample and return the abstract token string.
+def abstract_tokens_of(tokens: Sequence[Token],
+                       collapse: bool = True) -> Tuple[str, ...]:
+    """The abstract token string of an already-tokenized sample.
 
-    Keywords and punctuation keep their concrete spelling (``var`` and ``(``
-    carry structural information and cannot be attacker-randomized without
-    changing semantics); identifiers, strings and numbers are abstracted to
-    their class names.  This is the representation clustered by Kizzle.
+    Factored out of :func:`abstract_token_string` so callers holding a token
+    list (e.g. the incremental pipeline's per-content cache) can derive the
+    abstract string without re-lexing.
     """
-    tokens = tokenize_sample(document)
     parts: List[str] = []
     for token in tokens:
         if token.cls in (TokenClass.KEYWORD, TokenClass.PUNCTUATION):
@@ -97,6 +96,17 @@ def abstract_token_string(document: str, collapse: bool = True) -> Tuple[str, ..
                 cls = TokenClass.STRING
             parts.append(cls.value)
     return tuple(parts)
+
+
+def abstract_token_string(document: str, collapse: bool = True) -> Tuple[str, ...]:
+    """Tokenize a sample and return the abstract token string.
+
+    Keywords and punctuation keep their concrete spelling (``var`` and ``(``
+    carry structural information and cannot be attacker-randomized without
+    changing semantics); identifiers, strings and numbers are abstracted to
+    their class names.  This is the representation clustered by Kizzle.
+    """
+    return abstract_tokens_of(tokenize_sample(document), collapse=collapse)
 
 
 def concrete_values(document: str) -> Tuple[str, ...]:

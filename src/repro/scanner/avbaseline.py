@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.ekgen.angler import ANGLER_JAVA_MARKER
 from repro.ekgen.nuclear import delimit_word
 from repro.ekgen.evolution import EvolutionTimeline, default_timeline
-from repro.scanner.normalizer import normalize_for_scan
+from repro.scanner.normalizer import fast_normalize, normalize_for_scan
 
 
 @dataclass
@@ -52,6 +52,9 @@ class ManualSignatureRule:
     heuristic: bool = False
     _compiled: Optional[re.Pattern] = field(default=None, repr=False,
                                             compare=False)
+    _gates: Optional[List[tuple]] = field(default=None, repr=False,
+                                          compare=False)
+    _anchor_known: bool = field(default=False, repr=False, compare=False)
 
     @property
     def compiled(self) -> re.Pattern:
@@ -62,6 +65,37 @@ class ManualSignatureRule:
     def matches(self, raw_content: str, normalized_content: str) -> bool:
         return (self.compiled.search(raw_content) is not None
                 or self.compiled.search(normalized_content) is not None)
+
+    @property
+    def literal_gates(self) -> List[tuple]:
+        """``(literal, multiplicity)`` gates the pattern requires.
+
+        Any text the pattern matches must contain each required literal at
+        least as many times as it appears unconditionally in the pattern
+        (the RIG delimiter patterns, ``\\d{2,3}X\\d{2,3}X...``, require the
+        delimiter three times, which is a far more selective gate than one
+        occurrence of a two-character literal).  Only the most selective
+        gates are kept — longest literals first, at most two.
+        """
+        if not self._anchor_known:
+            from collections import Counter
+
+            from repro.signatures.anchors import required_literals
+
+            counts = Counter(required_literals(self.pattern, min_length=2))
+            ranked = sorted(counts.items(),
+                            key=lambda item: len(item[0]), reverse=True)
+            self._gates = ranked[:2]
+            self._anchor_known = True
+        return self._gates
+
+    def could_match(self, raw_content: str, normalized_content: str) -> bool:
+        """Cheap necessary condition for :meth:`matches` (either side)."""
+        for literal, needed in self.literal_gates:
+            if raw_content.count(literal) < needed \
+                    and normalized_content.count(literal) < needed:
+                return False
+        return True
 
 
 @dataclass
@@ -107,6 +141,21 @@ class SimulatedCommercialAV:
                 kit="angler", name="ANG.heur.telemetry",
                 pattern=r"adZone=13\d{3,}",
                 released=study_start, heuristic=True))
+        self.mode = "exact"
+        self.prepared = None
+
+    def use_fast_scan(self, prepared=None) -> None:
+        """Switch to the warm scan path.
+
+        Rules are gated by their required-literal anchor and the normalized
+        side of :meth:`ManualSignatureRule.matches` uses
+        :func:`~repro.scanner.normalizer.fast_normalize` (optionally through
+        a shared :class:`~repro.core.prepared.PreparedCache`) instead of the
+        lexer.  Verdict-equivalent on the synthetic stream (asserted in
+        tests); :attr:`mode` can be reset to ``"exact"`` at any time.
+        """
+        self.mode = "fast"
+        self.prepared = prepared
 
     # ------------------------------------------------------------------
     # rule construction
@@ -184,9 +233,32 @@ class SimulatedCommercialAV:
     def scan(self, sample_id: str, content: str,
              as_of: datetime.date) -> AVScanVerdict:
         """Scan one sample with the rules deployed on ``as_of``."""
+        if self.mode == "fast":
+            return self._scan_fast(sample_id, content, as_of)
         normalized = normalize_for_scan(content)
         matched = [rule for rule in self.rules_deployed(as_of)
                    if rule.matches(content, normalized)]
+        return AVScanVerdict(sample_id=sample_id, matched_rules=matched)
+
+    def _scan_fast(self, sample_id: str, content: str,
+                   as_of: datetime.date) -> AVScanVerdict:
+        """Warm scan: anchor-gated rules over the fast normal form.
+
+        A rule's anchor is a required substring of any match; a rule that
+        matched the raw side leaves its anchor in the raw content, one that
+        matched the normalized side leaves it in the fast normal form, so an
+        anchor missing from both proves the rule cannot match.
+        """
+        if self.prepared is not None:
+            normalized = self.prepared.fast_normalized(content)
+        else:
+            normalized = fast_normalize(content)
+        matched = []
+        for rule in self.rules_deployed(as_of):
+            if not rule.could_match(content, normalized):
+                continue
+            if rule.matches(content, normalized):
+                matched.append(rule)
         return AVScanVerdict(sample_id=sample_id, matched_rules=matched)
 
     def signature_release_dates(self, kit: Optional[str] = None

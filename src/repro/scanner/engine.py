@@ -3,15 +3,29 @@
 A :class:`SignatureDatabase` holds the currently deployed signatures (Kizzle
 adds new ones daily); a :class:`ScanEngine` normalizes samples and reports
 which signatures (and therefore which kit families) match.
+
+PR 2 made both scale to paper-size streams:
+
+* the database keeps per-kit, creation-date-sorted indexes, so
+  ``signatures_for``/``latest_for`` are a bisect plus a slice instead of a
+  full rescan on every call (behaviour-identical, including tie-breaking);
+* the engine can run in ``fast`` mode, where samples are normalized with the
+  regex-based :func:`~repro.scanner.normalizer.fast_normalize` (no Python
+  lexer) and each signature is gated by its required-literal anchor
+  (:mod:`repro.signatures.anchors`) before the full regex runs.  The anchor
+  gate never changes verdicts; the fast normal form is verdict-equivalent on
+  the synthetic stream (asserted by tests) and the exact mode remains the
+  default.
 """
 
 from __future__ import annotations
 
+import bisect
 import datetime
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set
 
-from repro.scanner.normalizer import normalize_for_scan
+from repro.scanner.normalizer import fast_normalize, normalize_for_scan
 from repro.signatures.signature import Signature
 
 
@@ -31,19 +45,79 @@ class ScanResult:
         return {signature.kit for signature in self.matched_signatures}
 
 
+class _DatedIndex:
+    """Signatures kept sorted by (creation date, insertion sequence).
+
+    The stable sequence component reproduces the pre-index semantics exactly:
+    ``signatures_for`` used to return signatures in insertion order, and
+    ``latest_for`` used ``max(..., key=created)``, which returns the
+    *earliest-inserted* signature among those sharing the maximal date.
+    """
+
+    __slots__ = ("_keys", "_entries")
+
+    def __init__(self) -> None:
+        self._keys: List[tuple] = []       # (created, sequence)
+        self._entries: List[Signature] = []
+
+    def add(self, signature: Signature, sequence: int) -> None:
+        key = (signature.created, sequence)
+        position = bisect.bisect_right(self._keys, key)
+        self._keys.insert(position, key)
+        self._entries.insert(position, signature)
+
+    def up_to(self, as_of: Optional[datetime.date]) -> List[Signature]:
+        """Signatures created on or before ``as_of`` (all when ``None``)."""
+        if as_of is None:
+            return self._entries
+        cut = bisect.bisect_right(self._keys, (as_of, float("inf")))
+        return self._entries[:cut]
+
+    def latest(self, as_of: Optional[datetime.date]) -> Optional[Signature]:
+        selected = self.up_to(as_of)
+        if not selected:
+            return None
+        newest_date = selected[-1].created
+        position = len(selected) - 1
+        while position > 0 and selected[position - 1].created == newest_date:
+            position -= 1
+        return selected[position]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class SignatureDatabase:
     """A dated collection of signatures.
 
     Signatures carry their creation date, so the database can answer "what
     was deployed on day D" — needed to evaluate detection as of a given day
     and to plot signature lengths over time (Figure 12).
+
+    Internally the signatures are indexed per kit and sorted by creation
+    date, so date- and kit-filtered queries cost a bisect instead of a scan
+    over the whole (and, over a month, ever-growing) signature list.
+    ``generation`` increments on every addition; scan-result caches key on
+    it to notice deployments.
     """
 
     def __init__(self, signatures: Optional[Iterable[Signature]] = None) -> None:
-        self._signatures: List[Signature] = list(signatures or [])
+        self._signatures: List[Signature] = []
+        self._by_kit: Dict[str, _DatedIndex] = {}
+        self._dated = _DatedIndex()
+        self.generation = 0
+        for signature in signatures or ():
+            self.add(signature)
 
     def add(self, signature: Signature) -> None:
+        sequence = len(self._signatures)
         self._signatures.append(signature)
+        self._dated.add(signature, sequence)
+        index = self._by_kit.get(signature.kit)
+        if index is None:
+            index = self._by_kit[signature.kit] = _DatedIndex()
+        index.add(signature, sequence)
+        self.generation += 1
 
     def __len__(self) -> int:
         return len(self._signatures)
@@ -53,39 +127,153 @@ class SignatureDatabase:
 
     def signatures_for(self, kit: Optional[str] = None,
                        as_of: Optional[datetime.date] = None) -> List[Signature]:
-        """Signatures filtered by kit and deployment date."""
-        selected = self._signatures
+        """Signatures filtered by kit and deployment date.
+
+        Without a date filter the insertion order is preserved (as before the
+        index); with one, signatures arrive sorted by creation date, which for
+        the daily pipeline — whose additions are date-monotone — is the same
+        order.
+        """
         if kit is not None:
-            selected = [s for s in selected if s.kit == kit]
-        if as_of is not None:
-            selected = [s for s in selected if s.created <= as_of]
-        return list(selected)
+            index = self._by_kit.get(kit)
+            if index is None:
+                return []
+            if as_of is None:
+                # Preserve exact legacy ordering (insertion order).
+                return [s for s in self._signatures if s.kit == kit]
+            return list(index.up_to(as_of))
+        if as_of is None:
+            return list(self._signatures)
+        return list(self._dated.up_to(as_of))
 
     def latest_for(self, kit: str,
                    as_of: Optional[datetime.date] = None) -> Optional[Signature]:
         """The most recently created signature for a kit."""
-        candidates = self.signatures_for(kit=kit, as_of=as_of)
-        if not candidates:
+        index = self._by_kit.get(kit)
+        if index is None:
             return None
-        return max(candidates, key=lambda signature: signature.created)
+        return index.latest(as_of)
 
     def kits(self) -> Set[str]:
-        return {signature.kit for signature in self._signatures}
+        return {kit for kit, index in self._by_kit.items() if len(index)}
 
 
 class ScanEngine:
-    """Matches a signature database against samples."""
+    """Matches a signature database against samples.
 
-    def __init__(self, database: SignatureDatabase) -> None:
+    Parameters
+    ----------
+    database:
+        The deployed signatures.
+    mode:
+        ``"exact"`` (default) normalizes through the JavaScript lexer, as
+        the paper's scanner does.  ``"fast"`` normalizes with
+        :func:`~repro.scanner.normalizer.fast_normalize` and applies each
+        signature's literal-anchor prefilter before its regex — the warm
+        path of the incremental pipeline.
+    prepared:
+        Optional :class:`~repro.core.prepared.PreparedCache`; when given,
+        normal forms are looked up there so the pipeline, the evaluation
+        harness and the scan engine normalize any given content only once
+        per day.
+    """
+
+    def __init__(self, database: SignatureDatabase, mode: str = "exact",
+                 prepared: Optional[object] = None,
+                 memo: Optional[Dict] = None) -> None:
+        if mode not in ("exact", "fast"):
+            raise ValueError(f"unknown scan mode: {mode!r}")
         self.database = database
+        self.mode = mode
+        self.prepared = prepared
+        #: Optional shared verdict memo: (content digest, as_of, database
+        #: generation) -> matched signatures.  The warm pipeline passes one
+        #: so the shedding stage and the evaluation scans of the same day
+        #: resolve each content once; the generation component invalidates
+        #: entries as soon as a new signature deploys.
+        self.memo = memo
+
+    # ------------------------------------------------------------------
+    def normal_form(self, content: str) -> str:
+        """The normal form scanned in the engine's mode (cached if possible)."""
+        if self.prepared is not None:
+            if self.mode == "fast":
+                return self.prepared.fast_normalized(content)
+            return self.prepared.normalized(content)
+        if self.mode == "fast":
+            return fast_normalize(content)
+        return normalize_for_scan(content)
+
+    def matching_signatures(self, normalized: str,
+                            signatures: Iterable[Signature]) -> List[Signature]:
+        """Signatures matching an already-normalized text.
+
+        In fast mode each signature's anchor gates its regex; the gate is a
+        necessary condition, so the returned set is identical to running
+        every regex.
+        """
+        if self.mode == "fast":
+            return [signature for signature in signatures
+                    if signature.could_match(normalized)
+                    and signature.matches(normalized)]
+        return [signature for signature in signatures
+                if signature.matches(normalized)]
+
+    def first_match(self, normalized: str,
+                    signatures: Iterable[Signature]) -> Optional[Signature]:
+        """The first signature in iteration order that matches, or ``None``.
+
+        Used by the shedding stage, which only needs *whether* a deployed
+        signature covers a sample (and which kit it attributes): probing
+        newest-first and stopping at the first hit avoids running every
+        superseded signature's regex against every covered sample.
+        """
+        for signature in signatures:
+            if self.mode == "fast" and not signature.could_match(normalized):
+                continue
+            if signature.matches(normalized):
+                return signature
+        return None
 
     def scan(self, sample_id: str, content: str,
              as_of: Optional[datetime.date] = None) -> ScanResult:
-        """Scan one sample with the signatures deployed as of ``as_of``."""
-        normalized = normalize_for_scan(content)
-        matches = [signature
-                   for signature in self.database.signatures_for(as_of=as_of)
-                   if signature.matches(normalized)]
+        """Scan one sample with the signatures deployed as of ``as_of``.
+
+        In fast mode the deployed set is probed per kit, newest signature
+        first, stopping at the first hit for each kit: the verdict-relevant
+        outputs (``detected`` and ``kits``) are identical to matching every
+        signature, but a sample covered by several generations of a kit's
+        signatures pays for one regex instead of all of them.  The exact
+        mode keeps the original exhaustive matching.
+        """
+        if self.mode != "fast":
+            normalized = self.normal_form(content)
+            matches = self.matching_signatures(
+                normalized, self.database.signatures_for(as_of=as_of))
+            return ScanResult(sample_id=sample_id, matched_signatures=matches)
+
+        key = None
+        if self.memo is not None:
+            from repro.core.prepared import PreparedCache
+
+            key = (PreparedCache.content_key(content), as_of,
+                   self.database.generation)
+            cached = self.memo.get(key)
+            if cached is not None:
+                return ScanResult(sample_id=sample_id,
+                                  matched_signatures=list(cached))
+        normalized = self.normal_form(content)
+        matches: List[Signature] = []
+        for kit in sorted(self.database.kits()):
+            hit = self.first_match(
+                normalized,
+                reversed(self.database.signatures_for(kit=kit, as_of=as_of)))
+            if hit is not None:
+                matches.append(hit)
+        if self.memo is not None:
+            self.memo[key] = list(matches)
+            if len(self.memo) > 65536:
+                self.memo.clear()
         return ScanResult(sample_id=sample_id, matched_signatures=matches)
 
     def scan_many(self, samples: Dict[str, str],

@@ -67,7 +67,8 @@ def abstract_of(token: Token) -> str:
 
 def align_cluster(contents: Sequence[str],
                   max_tokens: int = 200,
-                  window: Optional[CommonWindow] = None
+                  window: Optional[CommonWindow] = None,
+                  tokenizer=None
                   ) -> Optional[List[TokenColumn]]:
     """Tokenize the cluster's samples, find the common window and build the
     per-offset value columns.
@@ -75,8 +76,12 @@ def align_cluster(contents: Sequence[str],
     Returns ``None`` when no common unique window exists.  A pre-computed
     ``window`` may be supplied (e.g. by the compiler, which also needs the
     window metadata); it must have been computed over the same contents.
+    ``tokenizer`` overrides :func:`tokenize_sample` — the incremental
+    pipeline passes its per-content token cache so cluster members that were
+    already tokenized for clustering are not lexed a second time here.
     """
-    token_lists: List[List[Token]] = [tokenize_sample(content)
+    tokenizer = tokenizer or tokenize_sample
+    token_lists: List[List[Token]] = [tokenizer(content)
                                       for content in contents]
     abstract_strings = [[abstract_of(token) for token in tokens]
                         for tokens in token_lists]

@@ -34,10 +34,18 @@ class SignatureConfig:
 
 
 class SignatureCompiler:
-    """Compiles a signature from the packed samples of one cluster."""
+    """Compiles a signature from the packed samples of one cluster.
 
-    def __init__(self, config: Optional[SignatureConfig] = None) -> None:
+    ``tokenizer`` optionally replaces the default lexer call with a cached
+    one (the incremental pipeline passes its
+    :class:`~repro.core.prepared.PreparedCache` token table, so compiling a
+    signature from already-clustered members costs no extra lexing).
+    """
+
+    def __init__(self, config: Optional[SignatureConfig] = None,
+                 tokenizer=None) -> None:
         self.config = config or SignatureConfig()
+        self.tokenizer = tokenizer
 
     def compile_cluster(self, contents: Sequence[str], kit: str,
                         created: datetime.date) -> Optional[Signature]:
@@ -50,7 +58,8 @@ class SignatureCompiler:
         if not contents:
             return None
         columns = align_cluster(list(contents),
-                                max_tokens=self.config.max_window_tokens)
+                                max_tokens=self.config.max_window_tokens,
+                                tokenizer=self.tokenizer)
         if columns is None or len(columns) < self.config.min_window_tokens:
             return None
         pattern = build_pattern(columns,

@@ -1,0 +1,88 @@
+"""Unit tests for the benchmark-regression gate (benchmarks/check_regression)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks" / "check_regression.py")
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+compare_runs = check_regression.compare_runs
+
+
+class TestCompareRuns:
+    def test_no_change_passes(self):
+        regressions, notes = compare_runs({"a": 1.0}, {"a": 1.0})
+        assert regressions == [] and notes == []
+
+    def test_slowdown_over_threshold_fails(self):
+        regressions, _ = compare_runs({"a": 1.0}, {"a": 1.3})
+        assert len(regressions) == 1
+        assert "a" in regressions[0]
+
+    def test_slowdown_under_threshold_passes(self):
+        regressions, _ = compare_runs({"a": 1.0}, {"a": 1.2})
+        assert regressions == []
+
+    def test_speedup_passes(self):
+        regressions, _ = compare_runs({"a": 2.0}, {"a": 0.5})
+        assert regressions == []
+
+    def test_tiny_means_ignored(self):
+        # 1ms -> 10ms is a 10x slowdown but far below the noise floor.
+        regressions, _ = compare_runs({"a": 0.001}, {"a": 0.010})
+        assert regressions == []
+
+    def test_new_and_removed_benchmarks_are_notes_not_failures(self):
+        regressions, notes = compare_runs({"old": 1.0}, {"new": 1.0})
+        assert regressions == []
+        assert any("new benchmark" in note for note in notes)
+        assert any("disappeared" in note for note in notes)
+
+    def test_custom_threshold(self):
+        regressions, _ = compare_runs({"a": 1.0}, {"a": 1.1},
+                                      threshold=0.05)
+        assert len(regressions) == 1
+
+
+class TestMain:
+    def _write_artifact(self, root, name, benchmarks):
+        payload = {"date": name, "benchmarks": [
+            {"name": bench_name, "fullname": bench_name, "rounds": 1,
+             "mean_s": mean, "stddev_s": 0.0, "min_s": mean, "max_s": mean,
+             "extra_info": {}}
+            for bench_name, mean in benchmarks.items()]}
+        (root / f"BENCH_{name}.json").write_text(json.dumps(payload),
+                                                 encoding="utf-8")
+
+    def test_passes_with_fewer_than_two_artifacts(self, tmp_path):
+        assert check_regression.main([str(tmp_path)]) == 0
+        self._write_artifact(tmp_path, "2026-01-01", {"a": 1.0})
+        assert check_regression.main([str(tmp_path)]) == 0
+
+    def test_compares_newest_two(self, tmp_path):
+        self._write_artifact(tmp_path, "2026-01-01", {"a": 5.0})
+        self._write_artifact(tmp_path, "2026-01-02", {"a": 1.0})
+        self._write_artifact(tmp_path, "2026-01-03", {"a": 1.1})
+        assert check_regression.main([str(tmp_path)]) == 0
+
+    def test_fails_on_regression(self, tmp_path):
+        self._write_artifact(tmp_path, "2026-01-01", {"a": 1.0})
+        self._write_artifact(tmp_path, "2026-01-02", {"a": 2.0})
+        assert check_regression.main([str(tmp_path)]) == 1
+
+    def test_threshold_flag(self, tmp_path):
+        self._write_artifact(tmp_path, "2026-01-01", {"a": 1.0})
+        self._write_artifact(tmp_path, "2026-01-02", {"a": 1.2})
+        assert check_regression.main([str(tmp_path)]) == 0
+        assert check_regression.main(
+            [str(tmp_path), "--threshold", "0.1"]) == 1

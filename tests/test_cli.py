@@ -61,3 +61,17 @@ class TestCommands:
         assert code == 0
         assert "False negatives per day" in output
         assert "Kizzle FP" in output
+
+    def test_evaluate_incremental(self):
+        code, output = run_cli(SMALL_STREAM + ["--incremental",
+                                               "evaluate", "--days", "3"])
+        assert code == 0
+        assert "Kizzle FP" in output
+
+    def test_incremental_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["--incremental", "--no-shed", "--scan-mode", "exact",
+             "--scale", "2.0", "process-day"])
+        assert args.incremental and args.no_shed
+        assert args.scan_mode == "exact"
+        assert args.scale == 2.0
