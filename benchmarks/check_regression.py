@@ -11,6 +11,13 @@ and exits non-zero if any slowed down by more than the threshold (default
 the gate (new benchmarks appear, old ones are retired), and sub-50ms means
 are ignored — at that scale the signal is noise.
 
+Per-stage walls are gated too: a benchmark whose ``extra_info`` carries
+``wall_<stage>_s`` entries (the paper-scale day and month runs serialize
+the pipeline's stage-graph timings) contributes one additional named series
+per stage, ``<name>[<stage>]``, so a regression confined to one stage
+(say, ``compile``) fails the gate even if faster stages mask it in the
+end-to-end mean.
+
 Kept dependency-free and importable: the comparison logic
 (:func:`compare_runs`) is unit-tested in ``tests/test_bench_gate.py``.
 """
@@ -28,10 +35,23 @@ MIN_GATED_SECONDS = 0.05
 
 
 def load_benchmarks(path: pathlib.Path) -> Dict[str, float]:
-    """Map benchmark name -> mean seconds from one artifact."""
+    """Map benchmark name -> mean seconds from one artifact.
+
+    Besides the end-to-end mean of every benchmark, each numeric
+    ``wall_<stage>_s`` entry in a benchmark's ``extra_info`` becomes its own
+    named series (``name[stage]``), so per-stage regressions gate alongside
+    the totals.
+    """
     payload = json.loads(path.read_text(encoding="utf-8"))
-    return {bench["name"]: float(bench["mean_s"])
-            for bench in payload.get("benchmarks", [])}
+    series: Dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        series[bench["name"]] = float(bench["mean_s"])
+        for key, value in (bench.get("extra_info") or {}).items():
+            if key.startswith("wall_") and key.endswith("_s") \
+                    and isinstance(value, (int, float)):
+                stage = key[len("wall_"):-len("_s")]
+                series[f"{bench['name']}[{stage}]"] = float(value)
+    return series
 
 
 def compare_runs(previous: Dict[str, float], current: Dict[str, float],

@@ -9,6 +9,10 @@ scanning) — and asserts the two contracts of the incremental pipeline:
 
 The per-run timings are recorded as benchmark extra info so the nightly
 ``BENCH_<date>.json`` artifact tracks the speedup PR over PR.
+
+A second test re-runs the warm month on each execution backend (serial /
+process / distsim) and asserts byte-identical per-day FP/FN and deployed
+signatures — the month-scale version of ``tests/test_backends.py``.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ import time
 from repro.core.config import IncrementalConfig, KizzleConfig
 from repro.ekgen import StreamConfig
 from repro.evalharness import ExperimentConfig, MonthExperiment
+from repro.exec import BackendConfig
 
 AUGUST_START = datetime.date(2014, 8, 1)
 AUGUST_END = datetime.date(2014, 8, 31)
@@ -27,7 +32,8 @@ AUGUST_END = datetime.date(2014, 8, 31)
 MIN_SPEEDUP = 5.0
 
 
-def _month_config(incremental: bool) -> ExperimentConfig:
+def _month_config(incremental: bool,
+                  backend: str = "distsim") -> ExperimentConfig:
     return ExperimentConfig(
         start=AUGUST_START, end=AUGUST_END, seed_days=3,
         stream=StreamConfig(
@@ -37,7 +43,8 @@ def _month_config(incremental: bool) -> ExperimentConfig:
             seed=20140801),
         kizzle=KizzleConfig(
             machines=10, min_points=3,
-            incremental=IncrementalConfig(enabled=incremental)))
+            incremental=IncrementalConfig(enabled=incremental),
+            backend=BackendConfig(kind=backend)))
 
 
 def _day_metrics(day) -> tuple:
@@ -79,3 +86,28 @@ def test_incremental_month_speedup_and_equivalence(benchmark):
     assert speedup >= MIN_SPEEDUP, \
         f"warm path only {speedup:.2f}x faster (cold {cold_seconds:.1f}s, " \
         f"warm {warm_seconds:.1f}s); need >= {MIN_SPEEDUP}x"
+
+
+def test_backend_equivalence_on_seeded_month(benchmark):
+    """The warm seeded month is byte-identical on every execution backend:
+    per-day FP/FN, overall rates, and the deployed signature database."""
+
+    def run(backend):
+        experiment = MonthExperiment(_month_config(True, backend=backend))
+        report = experiment.run()
+        signatures = [(s.kit, s.created, s.pattern)
+                      for s in experiment.kizzle.database]
+        return report, signatures
+
+    reference_report, reference_signatures = benchmark.pedantic(
+        lambda: run("serial"), rounds=1, iterations=1)
+    for backend in ("process", "distsim"):
+        report, signatures = run(backend)
+        assert signatures == reference_signatures, \
+            f"{backend} signatures diverged from serial"
+        for serial_day, other_day in zip(reference_report.days, report.days):
+            assert _day_metrics(serial_day) == _day_metrics(other_day), \
+                f"{backend} metrics diverged on {serial_day.date}"
+        assert report.overall_rates() == reference_report.overall_rates()
+    benchmark.extra_info["backends"] = "serial,process,distsim"
+    benchmark.extra_info["days"] = len(reference_report.days)

@@ -12,7 +12,9 @@ simulator) live in their own subpackages; see DESIGN.md for the map.
 from repro.core.config import KizzleConfig
 from repro.core.pipeline import Kizzle
 from repro.core.results import ClusterReport, DailyResult
+from repro.core.stages import Stage, StageGraph
 from repro.ekgen.telemetry import DailyBatch, StreamConfig, TelemetryGenerator
+from repro.exec.backend import BackendConfig, create_backend
 from repro.scanner.avbaseline import SimulatedCommercialAV, default_av_baseline
 from repro.signatures.signature import Signature
 
@@ -21,8 +23,12 @@ __version__ = "1.0.0"
 __all__ = [
     "Kizzle",
     "KizzleConfig",
+    "BackendConfig",
+    "create_backend",
     "ClusterReport",
     "DailyResult",
+    "Stage",
+    "StageGraph",
     "TelemetryGenerator",
     "StreamConfig",
     "DailyBatch",

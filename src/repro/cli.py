@@ -31,6 +31,7 @@ from repro.core.config import IncrementalConfig, KizzleConfig
 from repro.core.pipeline import Kizzle
 from repro.distance.engine import DistanceEngineConfig
 from repro.ekgen.telemetry import StreamConfig, TelemetryGenerator
+from repro.exec.backend import BACKEND_KINDS, BackendConfig
 from repro.evalharness import ExperimentConfig, MonthExperiment, \
     format_absolute_counts, format_day_series
 
@@ -71,11 +72,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="RIG samples per day")
     parser.add_argument("--seed", type=int, default=20140801,
                         help="stream seed")
+    parser.add_argument("--backend", choices=BACKEND_KINDS,
+                        default="distsim",
+                        help="execution backend: 'serial' runs everything "
+                             "inline in one process, 'process' fans the "
+                             "distance workload out over a real process "
+                             "pool, 'distsim' (default) additionally "
+                             "simulates the paper's machine cluster for "
+                             "makespan/utilization reports; results are "
+                             "identical across all three")
     parser.add_argument("--machines", type=int, default=10,
-                        help="simulated machine count")
+                        help="logical machine count, wired through the "
+                             "backend config: sets the clustering "
+                             "partition default for every backend and the "
+                             "simulated pool size for --backend distsim")
     parser.add_argument("--workers", type=_nonnegative_int, default=0,
-                        help="distance-engine process pool width "
-                             "(0 = auto-detect CPU count, 1 = serial)")
+                        help="worker-pool width, wired through the backend "
+                             "config to the distance-engine fan-out "
+                             "(0 = auto-detect CPU count, 1 = serial; "
+                             "ignored by --backend serial)")
     parser.add_argument("--no-length-filter", action="store_true",
                         help="disable the length-gap distance prefilter")
     parser.add_argument("--no-bag-filter", action="store_true",
@@ -152,12 +167,24 @@ def _engine_config(args: argparse.Namespace) -> DistanceEngineConfig:
         cache_size=args.distance_cache)
 
 
+def _backend_config(args: argparse.Namespace) -> BackendConfig:
+    # machines/workers flow through the backend config; the unset fields
+    # (seed) inherit the pipeline values via KizzleConfig.resolved_backend.
+    return BackendConfig(kind=args.backend, machines=args.machines,
+                         workers=args.workers)
+
+
+def _kizzle_config(args: argparse.Namespace) -> KizzleConfig:
+    return KizzleConfig(machines=args.machines,
+                        distance=_engine_config(args),
+                        incremental=_incremental_config(args),
+                        backend=_backend_config(args))
+
+
 def _seeded_kizzle(generator: TelemetryGenerator,
                    args: argparse.Namespace,
                    seed_date: datetime.date) -> Kizzle:
-    kizzle = Kizzle(KizzleConfig(machines=args.machines,
-                                 distance=_engine_config(args),
-                                 incremental=_incremental_config(args)))
+    kizzle = Kizzle(_kizzle_config(args))
     for kit in DEFAULT_KITS:
         kizzle.seed_known_kit(kit, [generator.reference_core(kit, seed_date)])
     return kizzle
@@ -176,6 +203,9 @@ def command_process_day(args: argparse.Namespace, out) -> int:
           f"({len(result.malicious_clusters)} malicious), "
           f"{result.noise_count} noise, "
           f"{len(result.new_signatures)} new signatures", file=out)
+    stage_walls = " ".join(f"{stage}={seconds:.2f}s"
+                           for stage, seconds in result.stage_walls.items())
+    print(f"  backend={result.backend}  {stage_walls}", file=out)
     if result.shed_count:
         by_kit = ", ".join(f"{kit}: {count}" for kit, count
                            in sorted(result.shed_by_kit().items()))
@@ -225,10 +255,7 @@ def command_evaluate(args: argparse.Namespace, out) -> int:
     end = start + datetime.timedelta(days=max(1, args.days) - 1)
     config = ExperimentConfig(start=start, end=end, seed_days=3,
                               stream=_stream_config(args),
-                              kizzle=KizzleConfig(
-                                  machines=args.machines,
-                                  distance=_engine_config(args),
-                                  incremental=_incremental_config(args)))
+                              kizzle=_kizzle_config(args))
     report = MonthExperiment(config).run()
     fn = report.fn_series()
     print(format_day_series(fn["dates"], {"Kizzle FN": fn["kizzle"],

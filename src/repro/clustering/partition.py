@@ -12,15 +12,19 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, \
+    TYPE_CHECKING
 
 from repro.clustering.dbscan import DBSCAN, NOISE
 from repro.clustering.merge import merge_clusters
 from repro.clustering.prototypes import select_prototype
 from repro.distance.engine import DistanceEngine, DistanceEngineConfig, \
     EngineStats
-from repro.distsim.mapreduce import MapReduceJob, MapReduceReport, SimCluster
+from repro.distsim.mapreduce import MapReduceReport, SimCluster
 from repro.jstoken.normalizer import abstract_token_string
+
+if TYPE_CHECKING:
+    from repro.exec.backend import ExecutionBackend
 
 
 @dataclass
@@ -140,7 +144,7 @@ def cluster_partition(samples: Sequence[ClusteredSample],
 
 
 class DistributedClusterer:
-    """Partition + cluster + merge, executed on the simulated cluster.
+    """Partition + cluster + merge, executed through a pluggable backend.
 
     Parameters
     ----------
@@ -148,13 +152,26 @@ class DistributedClusterer:
         DBSCAN parameters (paper defaults: 0.10 and a small density
         requirement).
     sim_cluster:
-        The simulated machine pool; defaults to the paper's 50 machines.
+        Legacy construction path: a simulated machine pool, wrapped in a
+        :class:`~repro.exec.distsim.DistsimBackend` when no ``backend`` is
+        given.  Defaults to the paper's 50 machines.
     seed:
         Seed for the random partitioning.
     engine_config:
         Distance-engine settings (worker count, prefilter toggles, cache
         size).  One engine is shared across the map and reduce phases so
         the reduce step reuses distances the map phase already computed.
+    backend:
+        The :class:`~repro.exec.backend.ExecutionBackend` the map/reduce
+        structure and the engine fan-out run through.  Defaults to a
+        distsim backend over ``sim_cluster`` — the seed reproduction's
+        behaviour.
+    machines:
+        Logical machine count governing the *default partition count*.
+        Deliberately independent of the backend: partitioning shapes the
+        clustering output (per-partition DBSCAN + merge), so it must be
+        identical whether the partitions run inline, on a pool, or on the
+        simulator.  Defaults to the simulated pool size.
     """
 
     #: Target number of samples per partition when the caller does not pin
@@ -166,12 +183,43 @@ class DistributedClusterer:
     def __init__(self, epsilon: float = 0.10, min_points: int = 3,
                  sim_cluster: Optional[SimCluster] = None,
                  seed: int = 0,
-                 engine_config: Optional[DistanceEngineConfig] = None) -> None:
+                 engine_config: Optional[DistanceEngineConfig] = None,
+                 backend: Optional["ExecutionBackend"] = None,
+                 machines: Optional[int] = None) -> None:
+        from repro.exec.distsim import DistsimBackend
+
         self.epsilon = epsilon
         self.min_points = min_points
-        self.sim_cluster = sim_cluster or SimCluster(machine_count=50)
+        if backend is None:
+            backend = DistsimBackend.from_cluster(
+                sim_cluster or SimCluster(machine_count=machines or 50),
+                seed=seed)
+        self.backend = backend
+        if machines is not None:
+            self.machines = machines
+        else:
+            # The logical machine count must not depend on the backend
+            # kind: read the simulated pool when there is one, otherwise
+            # the same configured value a distsim backend would have used.
+            cluster = getattr(backend, "sim_cluster", None)
+            if cluster is not None:
+                self.machines = cluster.machine_count
+            elif backend.config.machines is not None:
+                self.machines = backend.config.machines
+            else:
+                self.machines = 50
         self.seed = seed
-        self.engine = DistanceEngine(engine_config or DistanceEngineConfig())
+        self.engine = DistanceEngine(
+            backend.engine_config(engine_config or DistanceEngineConfig()),
+            executor=backend.pair_executor())
+
+    @property
+    def sim_cluster(self) -> SimCluster:
+        """The simulated pool (a synthetic one for non-distsim backends)."""
+        cluster = getattr(self.backend, "sim_cluster", None)
+        if cluster is not None:
+            return cluster
+        return SimCluster(machine_count=self.machines)
 
     def run(self, samples: Sequence[ClusteredSample],
             partitions: Optional[int] = None
@@ -186,7 +234,7 @@ class DistributedClusterer:
             partition_count = partitions
         else:
             partition_count = min(
-                self.sim_cluster.machine_count,
+                self.machines,
                 max(1, len(prepared) // self.MIN_SAMPLES_PER_PARTITION))
         buckets = partition_samples(prepared, partition_count, seed=self.seed)
 
@@ -224,10 +272,10 @@ class DistributedClusterer:
             return merged, cost
 
         before = EngineStats(**self.engine.stats.as_dict())
-        job = MapReduceJob(self.sim_cluster, map_function, reduce_function)
-        report = job.run(buckets, partitions=len(buckets),
-                         item_bytes=lambda bucket: float(
-                             sum(len(sample.content) for sample in bucket)))
+        report = self.backend.run_mapreduce(
+            buckets, map_function, reduce_function,
+            item_bytes=lambda bucket: float(
+                sum(len(sample.content) for sample in bucket)))
         delta = EngineStats(**{
             name: value - getattr(before, name)
             for name, value in self.engine.stats.as_dict().items()})

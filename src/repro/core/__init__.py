@@ -6,6 +6,7 @@ under :mod:`repro` is a substrate it builds on.
 from repro.core.config import IncrementalConfig, KizzleConfig
 from repro.core.prepared import PreparedCache
 from repro.core.results import ClusterReport, DailyResult, ShedRecord
+from repro.core.stages import Stage, StageGraph, StageGraphError
 from repro.core.pipeline import Kizzle
 
 __all__ = [
@@ -15,5 +16,8 @@ __all__ = [
     "ClusterReport",
     "DailyResult",
     "ShedRecord",
+    "Stage",
+    "StageGraph",
+    "StageGraphError",
     "Kizzle",
 ]

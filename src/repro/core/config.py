@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.distance.engine import DistanceEngineConfig
+from repro.exec.backend import BackendConfig
 from repro.labeling.corpus import DEFAULT_THRESHOLDS
 from repro.signatures.compiler import SignatureConfig
 from repro.winnowing.fingerprint import DEFAULT_K, DEFAULT_WINDOW
@@ -106,6 +107,12 @@ class KizzleConfig:
     incremental:
         Day-over-day warm-path settings (shedding, carry-forward, fast
         scanning); disabled by default.  See :class:`IncrementalConfig`.
+    backend:
+        Execution-backend selection (``serial`` / ``process`` / ``distsim``)
+        and its substrate knobs.  Unset fields inherit the pipeline-level
+        values (``machines``, ``distance.workers``, ``seed``) via
+        :meth:`resolved_backend`.  Backends never change results — only
+        where work runs and what the timing report looks like.
     """
 
     epsilon: float = 0.10
@@ -121,6 +128,7 @@ class KizzleConfig:
         default_factory=DistanceEngineConfig)
     reuse_existing_signatures: bool = True
     incremental: IncrementalConfig = field(default_factory=IncrementalConfig)
+    backend: BackendConfig = field(default_factory=BackendConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -130,3 +138,9 @@ class KizzleConfig:
             raise ValueError("min_points must be at least 1")
         if self.machines < 1:
             raise ValueError("machines must be at least 1")
+
+    def resolved_backend(self) -> BackendConfig:
+        """The backend configuration with inherited fields filled in."""
+        return self.backend.resolved(machines=self.machines,
+                                     workers=self.distance.workers,
+                                     seed=self.seed)

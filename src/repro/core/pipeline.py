@@ -6,10 +6,22 @@ unpacking its prototype and winnowing it against the seeded corpus, and for
 malicious clusters whose samples are not already covered by a deployed
 signature, compile a new structural signature from the packed samples.
 
-Two execution paths share that loop:
+The loop is an explicit **stage graph** (:mod:`repro.core.stages`)::
+
+    shed -> prepare -> cluster -> label -> compile -> finalize
+
+executed through a pluggable **execution backend** (:mod:`repro.exec`):
+serial inline, real process-pool fan-out, or the distsim cluster simulator
+(the default, reproducing the paper's 50-machine timing model).  Backends
+never change results — labels, signatures and FP/FN are byte-identical
+across all three (``tests/test_backends.py``).
+
+Two execution modes share the graph *shape* and substitute stage
+implementations:
 
 * the **cold path** (default) treats every day as independent, exactly as
-  the seed reproduction did;
+  the seed reproduction did: ``shed`` is a pass-through intake, ``prepare``
+  tokenizes from scratch, ``label`` always unpacks and winnows.
 * the **warm path** (``config.incremental.enabled``) reuses day N-1's work
   on day N.  Samples already matched by a deployed signature — or exact
   repeats of already-labeled content — are *shed* before tokenization
@@ -26,13 +38,20 @@ Two execution paths share that loop:
   and carried kit clusters whose samples a deployed signature no longer
   covers — go through the full label/compile machinery, so kit updates
   still produce new signatures the same way the cold path produces them.
+
+The ``label`` and ``compile`` stages are *itemized* over the day's clusters
+and run depth-first per cluster: compiling cluster ``i`` feeds its unpacked
+prototype back into the corpus, and labeling cluster ``i+1`` winnows
+against that updated corpus — the same-day feedback the monolithic loop
+had, preserved by construction (see :class:`~repro.core.stages.StageGraph`).
 """
 
 from __future__ import annotations
 
 import datetime
-import time
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.clustering.carryforward import CarryForwardIndex
 from repro.clustering.partition import Cluster, ClusteredSample, \
@@ -40,14 +59,23 @@ from repro.clustering.partition import Cluster, ClusteredSample, \
 from repro.core.config import KizzleConfig
 from repro.core.prepared import PreparedCache
 from repro.core.results import ClusterReport, DailyResult, ShedRecord
-from repro.distsim.mapreduce import SimCluster
+from repro.core.stages import Stage, StageGraph
+from repro.exec.backend import create_backend
 from repro.labeling.corpus import KnownKitCorpus
 from repro.labeling.labeler import ClusterLabel, ClusterLabeler
 from repro.scanner.engine import ScanEngine, SignatureDatabase
 from repro.scanner.normalizer import normalize_for_scan
 from repro.signatures.compiler import SignatureCompiler
-from repro.signatures.signature import Signature
 from repro.unpack.registry import UnpackerRegistry, default_registry
+
+
+@dataclass
+class _SentinelGroup:
+    """One shed group's surviving representative (pre-tokenization)."""
+
+    name: str
+    content: str
+    weight: int = 1
 
 
 class Kizzle:
@@ -75,12 +103,14 @@ class Kizzle:
         self.registry = registry or default_registry()
         self.labeler = ClusterLabeler(self.corpus, self.registry)
         self.database = SignatureDatabase()
+        self.backend = create_backend(self.config.resolved_backend())
         self.clusterer = DistributedClusterer(
             epsilon=self.config.epsilon,
             min_points=self.config.min_points,
-            sim_cluster=SimCluster(machine_count=self.config.machines),
             seed=self.config.seed,
-            engine_config=self.config.distance)
+            engine_config=self.config.distance,
+            backend=self.backend,
+            machines=self.config.machines)
         incremental = self.config.incremental
         self.prepared = PreparedCache(
             max_entries=incremental.prepared_cache_entries)
@@ -108,6 +138,7 @@ class Kizzle:
         #: Shared scan-verdict memo (see ScanEngine): the shedding stage and
         #: the same-day evaluation scans resolve each content once.
         self._scan_memo: Dict = {}
+        self.graph = self._build_day_graph()
 
     # ------------------------------------------------------------------
     # seeding
@@ -115,6 +146,53 @@ class Kizzle:
     def seed_known_kit(self, kit: str, unpacked_samples: Iterable[str]) -> None:
         """Seed the corpus with known unpacked samples of a kit."""
         self.corpus.add_many(kit, unpacked_samples)
+
+    # ------------------------------------------------------------------
+    # the stage graph
+    # ------------------------------------------------------------------
+    def _build_day_graph(self) -> StageGraph:
+        """The daily pipeline as a stage graph.
+
+        Warm and cold share the graph shape; the warm path substitutes the
+        ``shed``, ``prepare``, ``label`` and ``finalize`` implementations.
+        """
+        incremental = self.config.incremental
+        warm = incremental.enabled
+        shedding = warm and incremental.shed_known
+        carrying = warm and incremental.carry_forward
+        return StageGraph([
+            Stage("shed",
+                  self._stage_shed if shedding else self._stage_intake,
+                  requires=("samples", "date"),
+                  provides=("survivors", "sentinels", "shed_records",
+                            "shed_kits", "scanned_bytes")),
+            Stage("prepare",
+                  self._stage_prepare_warm if warm
+                  else self._stage_prepare_cold,
+                  requires=("survivors", "sentinels"),
+                  provides=("prepared", "sentinel_ids")),
+            Stage("cluster", self._stage_cluster,
+                  requires=("samples", "date", "survivors", "prepared",
+                            "sentinel_ids", "shed_records"),
+                  provides=("clusters", "timing", "result")),
+            Stage("label",
+                  self._stage_label_warm if carrying
+                  else self._stage_label_cold,
+                  requires=("result", "sentinel_ids"),
+                  over="clusters"),
+            Stage("compile", self._stage_compile,
+                  requires=("result", "date"),
+                  over="clusters"),
+            Stage("finalize",
+                  self._stage_finalize_warm if warm
+                  else self._stage_finalize_cold,
+                  requires=("date", "result", "timing", "prepared",
+                            "sentinel_ids", "shed_kits", "scanned_bytes")),
+        ])
+
+    def day_graph(self) -> StageGraph:
+        """The pipeline's stage graph (for introspection and docs)."""
+        return self.graph
 
     # ------------------------------------------------------------------
     # the daily loop
@@ -128,76 +206,48 @@ class Kizzle:
         any newly generated signatures; new signatures are also added to the
         deployed :attr:`database` with ``created=date``.
         """
-        if self.config.incremental.enabled:
-            return self._process_day_warm(samples, date)
-        return self._process_day_cold(samples, date)
-
-    # -- cold path: every day from scratch ------------------------------
-    def _process_day_cold(self, samples: Sequence[Tuple[str, str]],
-                          date: datetime.date) -> DailyResult:
-        stage_start = time.perf_counter()
-        prepared = [ClusteredSample.from_content(sample_id, content)
-                    for sample_id, content in samples]
-        prepare_seconds = time.perf_counter() - stage_start
-
-        stage_start = time.perf_counter()
-        clusters, timing = self.clusterer.run(
-            prepared, partitions=self.config.partitions)
-        cluster_seconds = time.perf_counter() - stage_start
-
-        result = DailyResult(date=date, timing=timing,
-                             sample_count=len(prepared))
-        clustered_ids = {sample.sample_id
-                         for cluster in clusters for sample in cluster.samples}
-        result.noise_count = len(prepared) - len(clustered_ids)
-
-        stage_start = time.perf_counter()
-        for cluster in clusters:
-            label = self.labeler.label_cluster(cluster)
-            report = ClusterReport(cluster=cluster, label=label)
-            if label.kit is not None:
-                signature = self._signature_for(cluster, label.kit, date)
-                if signature is not None:
-                    report.signature = signature
-                    result.new_signatures.append(signature)
-                    self.database.add(signature)
-                    # Feed the freshly unpacked prototype back into the
-                    # corpus so the kit can be tracked as it drifts.
-                    self.corpus.add(label.kit, label.unpacked, collected=date)
-            result.clusters.append(report)
-        label_seconds = time.perf_counter() - stage_start
-        timing.wall_stage_seconds.update({
-            "prepare": prepare_seconds,
-            "cluster": cluster_seconds,
-            "label_and_compile": label_seconds,
-        })
+        warm = self.config.incremental.enabled
+        prepared_before = self.prepared.stats() if warm else None
+        context: Dict[str, Any] = {"samples": samples, "date": date}
+        walls = self.graph.run(context)
+        result: DailyResult = context["result"]
+        result.timing.wall_stage_seconds.update(walls)
+        if warm:
+            prepared_after = self.prepared.stats()
+            result.prepared_stats = {
+                name: value - prepared_before.get(name, 0)
+                for name, value in prepared_after.items()}
         return result
 
-    # -- warm path: shed to sentinels, cluster, inherit labels -----------
-    def _process_day_warm(self, samples: Sequence[Tuple[str, str]],
-                          date: datetime.date) -> DailyResult:
+    # -- shed: set known samples aside before tokenization ---------------
+    def _stage_intake(self, context: Dict[str, Any]) -> None:
+        """Pass-through shed substitute: every sample survives (cold path,
+        or warm with shedding disabled)."""
+        context["survivors"] = list(context["samples"])
+        context["sentinels"] = OrderedDict()
+        context["shed_records"] = []
+        context["shed_kits"] = set()
+        context["scanned_bytes"] = 0
+
+    def _stage_shed(self, context: Dict[str, Any]) -> None:
+        """Known-sample shedding (before any tokenization).
+
+        Every shed group — keyed by the first deployed signature that
+        matched, or by exact content for repeats of already-labeled
+        material — leaves one sentinel carrying the group's weight, so the
+        clustering stage keeps the cold path's density geometry.
+        """
         incremental = self.config.incremental
+        date = context["date"]
         engine = ScanEngine(self.database, mode=incremental.scan_mode,
                             prepared=self.prepared, memo=self._scan_memo)
-
-        # Stage 1: known-sample shedding (before any tokenization).  Every
-        # shed group — keyed by the first deployed signature that matched,
-        # or by exact content for repeats of already-labeled material —
-        # leaves one tokenized sentinel carrying the group's weight, so the
-        # clustering stage keeps the cold path's density geometry.
-        stage_start = time.perf_counter()
         shed: List[ShedRecord] = []
         shed_kits: Set[str] = set()
         scanned_bytes = 0
-        survivors: List[ClusteredSample] = []
-        sentinels: Dict[object, ClusteredSample] = {}
-        any_deployed = incremental.shed_known and len(self.database) > 0
-        for sample_id, content in samples:
-            if not incremental.shed_known:
-                survivors.append(ClusteredSample(
-                    sample_id=sample_id, content=content,
-                    tokens=self.prepared.abstract_tokens(content)))
-                continue
+        survivors: List[Tuple[str, str]] = []
+        sentinels: "OrderedDict[object, _SentinelGroup]" = OrderedDict()
+        any_deployed = len(self.database) > 0
+        for sample_id, content in context["samples"]:
             digest = PreparedCache.content_key(content)
             known = self._recall_content(digest, date)
             if known is not None:
@@ -207,8 +257,8 @@ class Kizzle:
                 if kit is not None:
                     shed_kits.add(kit)
                 scanned_bytes += len(content)
-                self._add_sentinel(sentinels, ("content", digest),
-                                   sample_id, content)
+                self._note_sentinel(sentinels, ("content", digest),
+                                    sample_id, content)
                 continue
             if any_deployed:
                 scanned_bytes += len(content)
@@ -220,62 +270,133 @@ class Kizzle:
                                            reason="signature", kit=kit))
                     shed_kits.add(kit)
                     self._remember_content(digest, kit, date)
-                    self._add_sentinel(sentinels,
-                                       ("sig", matched.signature_id),
-                                       sample_id, content)
+                    self._note_sentinel(sentinels,
+                                        ("sig", matched.signature_id),
+                                        sample_id, content)
                     continue
-            survivors.append(ClusteredSample(
-                sample_id=sample_id, content=content,
-                tokens=self.prepared.abstract_tokens(content)))
-        shed_seconds = time.perf_counter() - stage_start
+            survivors.append((sample_id, content))
+        context["survivors"] = survivors
+        context["sentinels"] = sentinels
+        context["shed_records"] = shed
+        context["shed_kits"] = shed_kits
+        context["scanned_bytes"] = scanned_bytes
 
-        # Stage 2: cluster survivors and sentinels together.  Sentinel
-        # weights feed the DBSCAN density requirement and prototype
-        # selection, so the result matches clustering the full batch.
-        stage_start = time.perf_counter()
-        prepared = survivors + list(sentinels.values())
+    @staticmethod
+    def _note_sentinel(sentinels: "OrderedDict[object, _SentinelGroup]",
+                       key: object, sample_id: str, content: str) -> None:
+        """Record one shed sample in its group's sentinel.
+
+        The first sample of a group names the sentinel; later samples only
+        bump its weight.  Tokenization waits for the prepare stage.
+        """
+        group = sentinels.get(key)
+        if group is None:
+            sentinels[key] = _SentinelGroup(
+                name=f"sentinel-{len(sentinels)}-{sample_id}",
+                content=content)
+        else:
+            group.weight += 1
+
+    # -- prepare: tokenize survivors and sentinels ------------------------
+    def _stage_prepare_cold(self, context: Dict[str, Any]) -> None:
+        """Tokenize from scratch — the cold path deliberately bypasses the
+        preparation cache so every day remains an independent cold start."""
+        context["prepared"] = [
+            ClusteredSample.from_content(sample_id, content)
+            for sample_id, content in context["survivors"]]
+        context["sentinel_ids"] = set()
+
+    def _stage_prepare_warm(self, context: Dict[str, Any]) -> None:
+        """Tokenize through the shared cache: the lexer runs at most once
+        per unique content, and sentinels carry their group weights."""
+        survivors = [
+            ClusteredSample(sample_id=sample_id, content=content,
+                            tokens=self.prepared.abstract_tokens(content))
+            for sample_id, content in context["survivors"]]
+        sentinel_samples = [
+            ClusteredSample(sample_id=group.name, content=group.content,
+                            tokens=self.prepared.abstract_tokens(
+                                group.content),
+                            weight=group.weight)
+            for group in context["sentinels"].values()]
+        context["prepared"] = survivors + sentinel_samples
+        context["sentinel_ids"] = {sample.sample_id
+                                   for sample in sentinel_samples}
+
+    # -- cluster: partition + DBSCAN + merge through the backend ----------
+    def _stage_cluster(self, context: Dict[str, Any]) -> None:
+        """Cluster survivors and sentinels together.  Sentinel weights feed
+        the DBSCAN density requirement and prototype selection, so the
+        result matches clustering the full batch."""
+        prepared = context["prepared"]
         clusters, timing = self.clusterer.run(
             prepared, partitions=self.config.partitions)
-        cluster_seconds = time.perf_counter() - stage_start
-
-        sentinel_ids = {sample.sample_id for sample in sentinels.values()}
-        result = DailyResult(date=date, timing=timing,
-                             sample_count=len(samples), shed=shed)
+        sentinel_ids = context["sentinel_ids"]
+        result = DailyResult(date=context["date"], timing=timing,
+                             sample_count=len(context["samples"]),
+                             shed=context["shed_records"])
+        result.backend = self.backend.name
         clustered_real = {sample.sample_id
                           for cluster in clusters
                           for sample in cluster.samples
                           if sample.sample_id not in sentinel_ids}
-        result.noise_count = len(survivors) - len(clustered_real)
+        result.noise_count = len(context["survivors"]) - len(clustered_real)
+        context["clusters"] = clusters
+        context["timing"] = timing
+        context["result"] = result
 
-        # Stage 3: label (inheriting from yesterday's anchors when the
-        # prototype carried over) and compile.
-        stage_start = time.perf_counter()
-        for cluster in clusters:
-            carried_label: Optional[ClusterLabel] = None
-            if incremental.carry_forward:
-                anchor = self.carry.match(cluster.prototype.tokens)
-                if anchor is not None:
-                    carried_label = ClusterLabel(
-                        kit=anchor.kit, overlap=anchor.overlap,
-                        best_family=anchor.best_family, unpacked="",
-                        layers=anchor.layers)
-            if carried_label is not None:
-                result.carried_cluster_count += 1
-                result.absorbed_count += sum(
-                    sample.weight for sample in cluster.samples
-                    if sample.sample_id not in sentinel_ids)
-                report = self._report_for(cluster, carried_label, date,
-                                          carried=True)
-            else:
-                label = self.labeler.label_cluster(cluster)
-                report = self._report_for(cluster, label, date, carried=False)
-            result.clusters.append(report)
-            if report.signature is not None:
-                result.new_signatures.append(report.signature)
-        label_seconds = time.perf_counter() - stage_start
+    # -- label: inherit from yesterday's anchors, or unpack and winnow ----
+    def _stage_label_cold(self, context: Dict[str, Any], cluster: Cluster,
+                          carry: Any) -> Tuple[ClusterLabel, bool]:
+        return self.labeler.label_cluster(cluster), False
 
-        # Remember every labeled real content for the exact-repeat shedding
-        # branch, and roll the anchors forward.
+    def _stage_label_warm(self, context: Dict[str, Any], cluster: Cluster,
+                          carry: Any) -> Tuple[ClusterLabel, bool]:
+        anchor = self.carry.match(cluster.prototype.tokens)
+        if anchor is not None:
+            result: DailyResult = context["result"]
+            result.carried_cluster_count += 1
+            result.absorbed_count += sum(
+                sample.weight for sample in cluster.samples
+                if sample.sample_id not in context["sentinel_ids"])
+            return ClusterLabel(
+                kit=anchor.kit, overlap=anchor.overlap,
+                best_family=anchor.best_family, unpacked="",
+                layers=anchor.layers), True
+        return self.labeler.label_cluster(cluster), False
+
+    # -- compile: generate signatures for uncovered malicious clusters ----
+    def _stage_compile(self, context: Dict[str, Any], cluster: Cluster,
+                       carry: Tuple[ClusterLabel, bool]) -> ClusterReport:
+        label, carried = carry
+        report = self._report_for(cluster, label, context["date"],
+                                  carried=carried)
+        result: DailyResult = context["result"]
+        result.clusters.append(report)
+        if report.signature is not None:
+            result.new_signatures.append(report.signature)
+        return report
+
+    # -- finalize: bookkeeping and backend stage accounting ---------------
+    def _stage_finalize_cold(self, context: Dict[str, Any]) -> None:
+        """The cold path carries no state across days — nothing to roll."""
+
+    def _stage_finalize_warm(self, context: Dict[str, Any]) -> None:
+        """Roll the day's state forward and account the warm-only stages.
+
+        Every labeled real content enters the exact-repeat shedding ledger,
+        the carry-forward anchors advance, and the shed/carry work is
+        simulated on the backend's machine pool so the virtual daily
+        wall-clock stays honest: every byte the shedding stage *scanned* is
+        charged (survivors that failed the scan cost real work too — the
+        warm path only gets credit for work it truly sheds), and anchor
+        probes are charged at banded-DP cost.
+        """
+        incremental = self.config.incremental
+        date = context["date"]
+        result: DailyResult = context["result"]
+        timing = context["timing"]
+        sentinel_ids = context["sentinel_ids"]
         for report in result.clusters:
             for sample in report.cluster.samples:
                 if sample.sample_id in sentinel_ids:
@@ -284,52 +405,27 @@ class Kizzle:
                     PreparedCache.content_key(sample.content),
                     report.label.kit, date)
         if incremental.carry_forward:
-            if shed_kits:
-                self.carry.refresh_kits(sorted(shed_kits), date)
+            if context["shed_kits"]:
+                self.carry.refresh_kits(sorted(context["shed_kits"]), date)
             self.carry.update(result.clusters, date)
 
-        # Charge the incremental stages against the simulated pool so the
-        # virtual daily wall-clock stays honest: every byte the shedding
-        # stage *scanned* is charged (survivors that failed the scan cost
-        # real work too — the warm path only gets credit for work it truly
-        # sheds), and anchor probes are charged at banded-DP cost.
+        prepared = context["prepared"]
         average_length = 1.0
         if prepared:
             average_length = sum(len(sample.tokens)
                                  for sample in prepared) / len(prepared)
-        spec = self.clusterer.sim_cluster.machine_spec
-        timing.charge_stage("shed", float(scanned_bytes),
-                            machine_count=self.config.machines, spec=spec)
+        self.backend.simulate_stage(timing, "shed",
+                                    float(context["scanned_bytes"]))
         probes = self.carry.comparisons - self._carry_comparisons_charged
         self._carry_comparisons_charged = self.carry.comparisons
-        timing.charge_stage(
-            "carry_forward",
+        self.backend.simulate_stage(
+            timing, "carry_forward",
             probes * max(1.0, self.config.epsilon * average_length)
-            * average_length,
-            machine_count=self.config.machines, spec=spec)
-        timing.wall_stage_seconds.update({
-            "shed": shed_seconds,
-            "cluster": cluster_seconds,
-            "label_and_compile": label_seconds,
-        })
-        return result
+            * average_length)
 
-    def _add_sentinel(self, sentinels: Dict[object, ClusteredSample],
-                      key: object, sample_id: str, content: str) -> None:
-        """Record one shed sample in its group's sentinel.
-
-        The first sample of a group is tokenized (through the preparation
-        cache) and becomes the sentinel; later samples only bump its weight.
-        """
-        sentinel = sentinels.get(key)
-        if sentinel is None:
-            sentinels[key] = ClusteredSample(
-                sample_id=f"sentinel-{len(sentinels)}-{sample_id}",
-                content=content,
-                tokens=self.prepared.abstract_tokens(content))
-        else:
-            sentinel.weight += 1
-
+    # ------------------------------------------------------------------
+    # labeling/compilation helpers
+    # ------------------------------------------------------------------
     def _report_for(self, cluster: Cluster, label: ClusterLabel,
                     date: datetime.date, carried: bool) -> ClusterReport:
         """Build the report for one cluster, compiling a signature when the
@@ -397,16 +493,6 @@ class Kizzle:
     # ------------------------------------------------------------------
     # signature management
     # ------------------------------------------------------------------
-    def _signature_for(self, cluster: Cluster, kit: str,
-                       date: datetime.date) -> Optional[Signature]:
-        """Compile a signature for a malicious cluster, unless an existing
-        deployed signature for the kit already covers its samples."""
-        contents = cluster.contents()
-        if self.config.reuse_existing_signatures and self._already_covered(
-                contents, kit, date):
-            return None
-        return self.compiler.compile_cluster(contents, kit, date)
-
     def _already_covered(self, contents: Sequence[str], kit: str,
                          date: datetime.date) -> bool:
         existing = self.database.signatures_for(kit=kit, as_of=date)

@@ -62,10 +62,23 @@ class DailyResult:
     shed: List[ShedRecord] = field(default_factory=list)
     absorbed_count: int = 0
     carried_cluster_count: int = 0
+    #: Which execution backend processed the day.
+    backend: str = ""
+    #: Per-day delta of the shared :class:`~repro.core.prepared.PreparedCache`
+    #: hit/miss counters (``raw_misses`` = lexer runs this day).  Empty on
+    #: cold runs, which bypass the cache by design.
+    prepared_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def shed_count(self) -> int:
         return len(self.shed)
+
+    @property
+    def stage_walls(self) -> Dict[str, float]:
+        """Measured wall-clock seconds per pipeline stage."""
+        if self.timing is None:
+            return {}
+        return dict(self.timing.wall_stage_seconds)
 
     def shed_by_kit(self) -> Dict[str, int]:
         """Shed-sample counts keyed by kit (benign under ``"benign"``)."""
@@ -109,4 +122,17 @@ class DailyResult:
             summary["shed_samples"] = self.shed_count
             summary["absorbed_samples"] = self.absorbed_count
             summary["carried_clusters"] = self.carried_cluster_count
+        if self.backend:
+            summary["backend"] = self.backend
+        for stage, seconds in self.stage_walls.items():
+            summary[f"wall_{stage}_s"] = seconds
+        if self.prepared_stats:
+            summary["prepared_lexer_runs"] = \
+                self.prepared_stats.get("raw_misses", 0)
+            summary["prepared_hits"] = sum(
+                count for name, count in self.prepared_stats.items()
+                if name.endswith("_hits"))
+            summary["prepared_misses"] = sum(
+                count for name, count in self.prepared_stats.items()
+                if name.endswith("_misses"))
         return summary

@@ -3,7 +3,9 @@
 The paper's daily loop is dominated by all-pairs token edit distance feeding
 DBSCAN.  This module centralizes that workload behind one object,
 :class:`DistanceEngine`, which layers cheap *exact* filters in front of the
-expensive kernel and fans large batches out over a process pool:
+expensive kernel and fans large batches out through a pluggable *pair
+executor* (by default the process-pool executor from
+:mod:`repro.exec.process`; an execution backend may substitute its own):
 
 1. **identity** — equal token strings are distance 0 (duplicates are very
    common in a grayware stream);
@@ -36,7 +38,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 from collections import Counter, OrderedDict
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, fields
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.distance.bitparallel import PatternMask, bitparallel_edit_distance, \
@@ -81,6 +83,12 @@ class DistanceEngineConfig:
         counter, kernel bitmask) held by one engine; profiles are
         recomputable, so the table is simply reset when it fills (long-lived
         engines process months of daily batches).
+    seed:
+        Base seed for the deterministic per-chunk RNG re-seeding of pool
+        workers (see :func:`repro.exec.process.chunk_seed`).  Never changes
+        results today — the pair kernels use no randomness — but guarantees
+        that any worker-side randomness ever introduced stays byte-identical
+        across pool widths.
     """
 
     length_filter: bool = True
@@ -93,6 +101,7 @@ class DistanceEngineConfig:
     chunk_size: int = 1024
     parallel_threshold: int = 4096
     profile_cache_size: int = 4096
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.qgram_size < 2:
@@ -123,6 +132,9 @@ class EngineStats:
     bag_pruned: int = 0
     qgram_pruned: int = 0
     kernel_calls: int = 0
+    #: Pairs decided by the batch executor (pool workers) rather than
+    #: in-process — telemetry for the backend layer, not a pruning layer.
+    executor_pairs: int = 0
 
     def add(self, other: "EngineStats") -> None:
         for stat_field in fields(self):
@@ -221,61 +233,12 @@ _SHARED_CACHE = PairDistanceCache(maxsize=DistanceEngineConfig.cache_size)
 
 
 # ----------------------------------------------------------------------
-# pool worker plumbing (top-level so it survives pickling under spawn)
+# the filter stack
 # ----------------------------------------------------------------------
-_WORKER_POINTS: List[TokenString] = []
-_WORKER_PROFILES: Dict[int, PointProfile] = {}
-_WORKER_CONFIG: Optional[DistanceEngineConfig] = None
-_WORKER_THRESHOLDS: Dict[Tuple[int, int], int] = {}
-_WORKER_EPSILON: float = 0.0
-
-
-def _pool_init(points: List[TokenString], epsilon: float,
-               config: DistanceEngineConfig) -> None:
-    global _WORKER_POINTS, _WORKER_PROFILES, _WORKER_CONFIG, _WORKER_EPSILON
-    _WORKER_POINTS = points
-    _WORKER_PROFILES = {}
-    _WORKER_CONFIG = config
-    _WORKER_EPSILON = epsilon
-
-
-def _pool_profile(index: int) -> PointProfile:
-    profile = _WORKER_PROFILES.get(index)
-    if profile is None:
-        profile = PointProfile(_WORKER_POINTS[index],
-                               _WORKER_CONFIG.qgram_size)
-        _WORKER_PROFILES[index] = profile
-    return profile
-
-
-def _pool_decide_chunk(chunk: Sequence[Tuple[int, int]]
-                       ) -> Tuple[List[Tuple[int, int, bool, Optional[int]]],
-                                  Dict[str, int]]:
-    """Decide a chunk of candidate pairs inside a pool worker.
-
-    Returns ``(i, j, within, exact_distance_or_None)`` per pair plus the
-    worker-side stats; exact distances flow back so the parent can seed its
-    cache, and the stats merge into the parent's accounting.
-    """
-    config = _WORKER_CONFIG
-    epsilon = _WORKER_EPSILON
-    stats = EngineStats()
-    out: List[Tuple[int, int, bool, Optional[int]]] = []
-    for i, j in chunk:
-        profile_a, profile_b = _pool_profile(i), _pool_profile(j)
-        threshold = int(epsilon * max(profile_a.length, profile_b.length))
-        verdict, distance = _decide_profiles(profile_a, profile_b, threshold,
-                                             config, None, stats)
-        out.append((i, j, verdict, distance))
-    # The triage loop in the parent already counted these pairs.
-    stats.pairs = 0
-    return out, stats.as_dict()
-
-
-def _decide_profiles(profile_a: PointProfile, profile_b: PointProfile,
-                     threshold: int, config: DistanceEngineConfig,
-                     cache: Optional[PairDistanceCache],
-                     stats: EngineStats) -> Tuple[bool, Optional[int]]:
+def decide_profiles(profile_a: PointProfile, profile_b: PointProfile,
+                    threshold: int, config: DistanceEngineConfig,
+                    cache: Optional[PairDistanceCache],
+                    stats: EngineStats) -> Tuple[bool, Optional[int]]:
     """Run the filter stack for one pair.
 
     Returns ``(within, exact_distance)`` where the distance is ``None`` when
@@ -323,10 +286,20 @@ def _decide_profiles(profile_a: PointProfile, profile_b: PointProfile,
 # the engine
 # ----------------------------------------------------------------------
 class DistanceEngine:
-    """Batched, pruned, memoized distance queries over token strings."""
+    """Batched, pruned, memoized distance queries over token strings.
 
-    def __init__(self, config: Optional[DistanceEngineConfig] = None) -> None:
+    ``executor`` optionally supplies the batch fan-out substrate (an object
+    with ``decide_chunks(points, chunks, epsilon, config)``, see
+    :mod:`repro.exec.process`).  Without one, large batches default to the
+    process-pool executor, preserving the engine's historical standalone
+    behaviour; an execution backend passes its own so the fan-out policy is
+    owned in one place.
+    """
+
+    def __init__(self, config: Optional[DistanceEngineConfig] = None,
+                 executor=None) -> None:
         self.config = config or DistanceEngineConfig()
+        self.executor = executor
         if self.config.shared_cache and \
                 self.config.cache_size == _SHARED_CACHE.maxsize:
             self.cache = _SHARED_CACHE
@@ -380,7 +353,7 @@ class DistanceEngine:
         if longest == 0:
             return True
         threshold = int(epsilon * longest)
-        verdict, _ = _decide_profiles(profile_a, profile_b, threshold,
+        verdict, _ = decide_profiles(profile_a, profile_b, threshold,
                                       self.config, self.cache, self.stats)
         return verdict
 
@@ -399,7 +372,7 @@ class DistanceEngine:
         if max_normalized is None:
             return self.exact_distance(a, b) / longest
         threshold = int(max_normalized * longest)
-        verdict, exact = _decide_profiles(profile_a, profile_b, threshold,
+        verdict, exact = decide_profiles(profile_a, profile_b, threshold,
                                           self.config, self.cache, self.stats)
         if not verdict:
             return 1.0
@@ -452,7 +425,15 @@ class DistanceEngine:
         workers = self.config.effective_workers()
         if workers <= 1 or total_pairs < self.config.parallel_threshold:
             return self._decide_serial(profiles, pairs, epsilon)
-        return self._decide_pooled(points, profiles, pairs, epsilon, workers)
+        executor = self.executor
+        if executor is None:
+            # Standalone engines keep their historical process fan-out; the
+            # import is lazy because repro.exec.process imports this module.
+            from repro.exec.process import ProcessPairExecutor
+            executor = self.executor = ProcessPairExecutor(
+                seed=self.config.seed)
+        return self._decide_with_executor(points, profiles, pairs, epsilon,
+                                          executor)
 
     def _decide_serial(self, profiles: Sequence[PointProfile],
                        pairs: Iterable[Tuple[int, int]], epsilon: float
@@ -460,17 +441,18 @@ class DistanceEngine:
         for i, j in pairs:
             profile_a, profile_b = profiles[i], profiles[j]
             threshold = int(epsilon * max(profile_a.length, profile_b.length))
-            verdict, _ = _decide_profiles(profile_a, profile_b, threshold,
+            verdict, _ = decide_profiles(profile_a, profile_b, threshold,
                                           self.config, self.cache, self.stats)
             yield i, j, verdict
 
-    def _decide_pooled(self, points: List[TokenString],
-                       profiles: Sequence[PointProfile],
-                       pairs: Iterable[Tuple[int, int]], epsilon: float,
-                       workers: int) -> Iterable[Tuple[int, int, bool]]:
+    def _decide_with_executor(self, points: List[TokenString],
+                              profiles: Sequence[PointProfile],
+                              pairs: Iterable[Tuple[int, int]],
+                              epsilon: float, executor
+                              ) -> Iterable[Tuple[int, int, bool]]:
         # Resolve the O(1) layers (identity, length, cache) in-process,
         # streaming their verdicts; only pairs that might need counters or
-        # the kernel accumulate for the pool.
+        # the kernel accumulate for the executor.
         undecided: List[Tuple[int, int]] = []
         for i, j in pairs:
             profile_a, profile_b = profiles[i], profiles[j]
@@ -492,7 +474,7 @@ class DistanceEngine:
                     undecided.append((i, j))
 
         if len(undecided) < 2 * self.config.chunk_size:
-            # Not enough left to amortize a pool; finish serially.  The
+            # Not enough left to amortize a fan-out; finish serially.  The
             # triage loop above already counted these pairs.
             self.stats.pairs -= len(undecided)
             yield from self._decide_serial(profiles, undecided, epsilon)
@@ -501,18 +483,11 @@ class DistanceEngine:
         chunk_size = self.config.chunk_size
         chunks = [undecided[start:start + chunk_size]
                   for start in range(0, len(undecided), chunk_size)]
-        # Workers keep the counting filters (pruning before the kernel) but
-        # run cache-less: exact distances flow back and are cached here.
-        worker_config = replace(self.config, shared_cache=False,
-                                cache_size=0, workers=1)
-        with multiprocessing.Pool(
-                processes=min(workers, len(chunks)),
-                initializer=_pool_init,
-                initargs=(points, epsilon, worker_config)) as pool:
-            for chunk_result, chunk_stats in pool.map(_pool_decide_chunk,
-                                                      chunks):
-                self.stats.add(EngineStats(**chunk_stats))
-                for i, j, verdict, exact in chunk_result:
-                    if exact is not None:
-                        self.cache.put(points[i], points[j], exact)
-                    yield i, j, verdict
+        for chunk_result, chunk_stats in executor.decide_chunks(
+                points, chunks, epsilon, self.config):
+            self.stats.add(EngineStats(**chunk_stats))
+            self.stats.executor_pairs += len(chunk_result)
+            for i, j, verdict, exact in chunk_result:
+                if exact is not None:
+                    self.cache.put(points[i], points[j], exact)
+                yield i, j, verdict

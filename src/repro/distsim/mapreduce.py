@@ -39,11 +39,17 @@ class MapReduceReport:
     #: job but are real daily work; see :meth:`charge_stage`).  Virtual
     #: seconds per stage name; included in :attr:`total_time`.
     stage_seconds: Dict[str, float] = field(default_factory=dict)
-    #: Measured wall-clock per pipeline stage (shed/prepare/absorb/cluster/
-    #: label/compile), attached by the pipeline so benchmarks can break an
+    #: Measured wall-clock per pipeline stage (shed/prepare/cluster/label/
+    #: compile/finalize), attached by the pipeline so benchmarks can break an
     #: end-to-end day down without instrumenting it from outside.  Not part
     #: of the virtual :attr:`total_time`.
     wall_stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Which execution backend produced this report (``serial`` /
+    #: ``process`` / ``distsim``).
+    backend: str = "distsim"
+    #: Mean machine utilization per extra charged stage, derived from the
+    #: real scheduled tasks when the distsim backend simulates the stage.
+    stage_utilization: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_time(self) -> float:
@@ -98,6 +104,8 @@ class MapReduceReport:
             summary[f"stage_{name}_s"] = seconds
         for name, seconds in self.wall_stage_seconds.items():
             summary[f"wall_{name}_s"] = seconds
+        for name, utilization in self.stage_utilization.items():
+            summary[f"util_{name}"] = utilization
         return summary
 
 

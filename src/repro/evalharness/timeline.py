@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Set
 from repro.core.config import KizzleConfig
 from repro.core.pipeline import Kizzle
 from repro.core.results import DailyResult
+from repro.core.stages import Stage, StageGraph
 from repro.ekgen.telemetry import StreamConfig, TelemetryGenerator
 from repro.evalharness.groundtruth import GroundTruth
 from repro.evalharness.metrics import DayMetrics, KitCounts, score_day
@@ -73,6 +74,10 @@ class DayRecord:
     processing_minutes: float = 0.0
     #: Samples the warm path shed as already-known (0 on the cold path).
     shed_count: int = 0
+    #: Measured wall seconds of the experiment's own stage graph
+    #: (process / scan / evaluate), plus the pipeline's nested per-stage
+    #: walls under ``process.<stage>``.
+    stage_walls: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -175,6 +180,22 @@ class MonthExperiment:
             # cache and fast normal form (one normalization per content per
             # day across the pipeline and both scan engines).
             self.av.use_fast_scan(prepared=self.kizzle.prepared)
+        # The experiment's own per-day loop is a stage graph too, extending
+        # the pipeline's (shed -> ... -> finalize) with the paper's
+        # evaluation steps: scan the day with both engines, then score.
+        self.day_graph = StageGraph([
+            Stage("process", self._stage_process,
+                  requires=("batch", "date"), provides=("daily",)),
+            # Scanning depends on the signatures the process stage deploys
+            # for the same date — ``daily`` encodes that ordering.
+            Stage("scan", self._stage_scan,
+                  requires=("batch", "date", "daily"),
+                  provides=("kizzle_detections", "av_detections")),
+            Stage("evaluate", self._stage_evaluate,
+                  requires=("batch", "date", "daily",
+                            "kizzle_detections", "av_detections"),
+                  provides=("record",)),
+        ])
 
     # ------------------------------------------------------------------
     def seed(self) -> None:
@@ -207,17 +228,33 @@ class MonthExperiment:
         """Run one day: generate, process, scan with both engines, score."""
         batch = self.generator.generate_day(date)
         ground_truth.add_samples(batch.samples)
+        context = {"batch": batch, "date": date}
+        walls = self.day_graph.run(context)
+        record: DayRecord = context["record"]
+        record.stage_walls = dict(walls)
+        daily: DailyResult = context["daily"]
+        for stage, seconds in daily.stage_walls.items():
+            record.stage_walls[f"process.{stage}"] = seconds
+        return record
 
-        daily: DailyResult = self.kizzle.process_day(
+    # -- the experiment's stage implementations -------------------------
+    def _stage_process(self, context) -> None:
+        batch = context["batch"]
+        context["daily"] = self.kizzle.process_day(
             [(sample.sample_id, sample.content) for sample in batch.samples],
-            date)
+            context["date"])
 
+    def _stage_scan(self, context) -> None:
+        batch, date = context["batch"], context["date"]
+        context["kizzle_detections"] = self._kizzle_detections(batch, date)
+        context["av_detections"] = self._av_detections(batch, date)
+
+    def _stage_evaluate(self, context) -> None:
+        batch, date = context["batch"], context["date"]
+        daily: DailyResult = context["daily"]
         true_kits = {sample.sample_id: sample.kit for sample in batch.samples}
-        kizzle_detections = self._kizzle_detections(batch, date)
-        av_detections = self._av_detections(batch, date)
-
-        kizzle_metrics = score_day(true_kits, kizzle_detections)
-        av_metrics = score_day(true_kits, av_detections)
+        kizzle_metrics = score_day(true_kits, context["kizzle_detections"])
+        av_metrics = score_day(true_kits, context["av_detections"])
 
         signature_lengths: Dict[str, int] = {}
         for kit in self.config.kits:
@@ -225,7 +262,7 @@ class MonthExperiment:
             if latest is not None:
                 signature_lengths[kit] = latest.length
 
-        return DayRecord(
+        context["record"] = DayRecord(
             date=date,
             sample_count=len(batch.samples),
             malicious_count=len(batch.malicious),

@@ -1,0 +1,45 @@
+"""Pluggable execution backends for the stage-graph pipeline.
+
+One interface (:class:`~repro.exec.backend.ExecutionBackend`), three
+substrates: inline serial execution, real process-pool fan-out, and the
+discrete-event cluster simulator.  Backends change where work runs and what
+the timing reports look like — never the pipeline's results.
+
+Only the interface module loads eagerly; the backend implementations (and
+their multiprocessing/simulator dependencies) resolve lazily on first
+attribute access, so the configuration layer can import
+:class:`~repro.exec.backend.BackendConfig` without paying for them.
+"""
+
+from repro.exec.backend import BACKEND_KINDS, BackendConfig, \
+    ExecutionBackend, create_backend
+
+__all__ = [
+    "BACKEND_KINDS",
+    "BackendConfig",
+    "ExecutionBackend",
+    "create_backend",
+    "SerialBackend",
+    "ProcessBackend",
+    "DistsimBackend",
+    "ProcessPairExecutor",
+    "SerialPairExecutor",
+]
+
+#: Lazily-resolved names -> defining submodule (PEP 562).
+_LAZY = {
+    "SerialBackend": "repro.exec.serial",
+    "ProcessBackend": "repro.exec.process",
+    "ProcessPairExecutor": "repro.exec.process",
+    "SerialPairExecutor": "repro.exec.process",
+    "DistsimBackend": "repro.exec.distsim",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,224 @@
+"""The pluggable execution-backend interface.
+
+The stage-graph pipeline (:mod:`repro.core.stages`) describes *what* the
+daily loop does; an :class:`ExecutionBackend` decides *where* the work runs.
+Three implementations share the interface:
+
+* :class:`~repro.exec.serial.SerialBackend` — everything inline in one
+  process, no simulation; the reference substrate every other backend must
+  match byte for byte.
+* :class:`~repro.exec.process.ProcessBackend` — the distance-pair fan-out
+  runs on a real :mod:`multiprocessing` pool (the machinery that used to be
+  private to :mod:`repro.distance.engine`), with deterministic per-chunk
+  RNG seeding so any worker count produces identical results.
+* :class:`~repro.exec.distsim.DistsimBackend` — drives the
+  :mod:`repro.distsim` scheduler/map-reduce simulator, so makespan and
+  utilization reports come from real scheduled stage tasks rather than
+  side-channel cost charging.  This is the default (it reproduces the
+  paper's 50-machine timing model, and it is what the seed reproduction
+  always did).
+
+Backends only change *where and how fast* work executes, never its result:
+cluster labels, signatures and per-day FP/FN are byte-identical across all
+three (asserted in ``tests/test_backends.py``).  Anything that affects
+results — partition counts, shuffle seeds, epsilon — stays in
+:class:`~repro.core.config.KizzleConfig` and is shared by every backend.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.distsim.machine import MachineSpec
+from repro.distsim.mapreduce import MapReduceReport
+
+#: Recognized backend kinds, in CLI/help order.
+BACKEND_KINDS = ("serial", "process", "distsim")
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """Execution-substrate settings, resolved by the pipeline.
+
+    Attributes
+    ----------
+    kind:
+        ``"serial"``, ``"process"`` or ``"distsim"`` (the default; it
+        reproduces the seed behaviour, including the simulated timing
+        model *and* the process-pool distance fan-out).
+    machines:
+        Size of the simulated machine pool (distsim) and the unit count
+        extra stages are charged over.  ``None`` inherits
+        ``KizzleConfig.machines``.  Note the *partition* count of the
+        clustering stage always comes from ``KizzleConfig.machines`` so
+        that clustering output never depends on the backend.
+    workers:
+        Process-pool width for the distance fan-out (process/distsim
+        backends).  ``0`` auto-detects; ``None`` inherits
+        ``DistanceEngineConfig.workers``.
+    seed:
+        Base seed for deterministic per-chunk worker RNG seeding.  ``None``
+        inherits ``KizzleConfig.seed``.
+    """
+
+    kind: str = "distsim"
+    machines: Optional[int] = None
+    workers: Optional[int] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in BACKEND_KINDS:
+            raise ValueError(
+                f"unknown backend kind {self.kind!r}; "
+                f"expected one of {', '.join(BACKEND_KINDS)}")
+        if self.machines is not None and self.machines < 1:
+            raise ValueError("machines must be at least 1")
+        if self.workers is not None and self.workers < 0:
+            raise ValueError("workers must be non-negative")
+
+    def resolved(self, machines: int, workers: int,
+                 seed: int) -> "BackendConfig":
+        """A copy with every ``None`` field filled from pipeline defaults."""
+        return BackendConfig(
+            kind=self.kind,
+            machines=self.machines if self.machines is not None else machines,
+            workers=self.workers if self.workers is not None else workers,
+            seed=self.seed if self.seed is not None else seed)
+
+
+class ExecutionBackend(abc.ABC):
+    """Where stage work runs: inline, on a process pool, or simulated.
+
+    The interface has three load-bearing methods:
+
+    * :meth:`run_mapreduce` executes the clustering stage's scatter/map/
+      gather/reduce structure and returns a
+      :class:`~repro.distsim.mapreduce.MapReduceReport` (with
+      ``reduce_value`` holding the merged clusters);
+    * :meth:`simulate_stage` accounts an extra perfectly-parallel stage
+      (shedding, carry-forward probes) against the backend's notion of the
+      machine pool, recording virtual seconds in the report;
+    * :meth:`pair_executor` supplies the
+      :class:`~repro.distance.engine.DistanceEngine` with its batch
+      fan-out substrate (``None`` keeps the engine serial).
+    """
+
+    #: Short identifier, also the CLI ``--backend`` value.
+    name: str = "abstract"
+
+    def __init__(self, config: BackendConfig) -> None:
+        self.config = config
+
+    # -- substrate ------------------------------------------------------
+    @property
+    def machine_spec(self) -> MachineSpec:
+        """The machine model stage costs are converted with."""
+        return MachineSpec()
+
+    @property
+    def charge_units(self) -> int:
+        """Parallel width extra stage costs are spread over."""
+        return 1
+
+    def pair_executor(self):
+        """Distance-pair batch executor for the engine (``None`` = serial)."""
+        return None
+
+    def engine_config(self, base):
+        """The distance-engine configuration this backend runs with.
+
+        The default keeps the pipeline's configuration untouched; the
+        serial backend forces ``workers=1`` so even paper-scale batches
+        stay in-process.
+        """
+        return base
+
+    # -- execution ------------------------------------------------------
+    @abc.abstractmethod
+    def run_mapreduce(self, buckets: Sequence[Any],
+                      map_function: Callable[[Sequence[Any]], Any],
+                      reduce_function: Callable[[List[Any]], Any],
+                      item_bytes: Callable[[Any], float]) -> MapReduceReport:
+        """Execute one map/reduce over pre-partitioned buckets.
+
+        ``map_function`` receives a list of items (the backend hands each
+        bucket through as a single item, matching
+        :class:`~repro.distsim.mapreduce.MapReduceJob` semantics) and must
+        return ``(value, cost, output_bytes)``; ``reduce_function`` receives
+        the list of map values and returns ``(value, cost)``.  The report's
+        ``reduce_value`` carries the reduce result.
+        """
+
+    @abc.abstractmethod
+    def simulate_stage(self, report: MapReduceReport, name: str,
+                       cost: float) -> float:
+        """Account an extra perfectly-parallel stage of ``cost`` work units.
+
+        Records the stage's virtual seconds in ``report.stage_seconds`` (and,
+        for the simulator backend, per-stage utilization from the real
+        scheduled tasks).  Returns the seconds charged.
+        """
+
+
+class InlineBackend(ExecutionBackend):
+    """Shared substrate for backends that execute map/reduce inline.
+
+    Map and reduce run as plain function calls in submission order; the
+    report's map/reduce times are measured wall clock and the network
+    phases are zero (nothing is shipped anywhere).  Extra stages charge
+    through :meth:`MapReduceReport.charge_stage` — the one place the
+    cost-to-seconds formula lives — spread over :attr:`charge_units`.
+    """
+
+    def run_mapreduce(self, buckets: Sequence[Any],
+                      map_function: Callable[[Sequence[Any]], Any],
+                      reduce_function: Callable[[List[Any]], Any],
+                      item_bytes: Callable[[Any], float]) -> MapReduceReport:
+        started = time.perf_counter()
+        map_values: List[Any] = []
+        for bucket in buckets:
+            value, _cost, _output_bytes = map_function([bucket])
+            map_values.append(value)
+        map_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        reduce_value, _reduce_cost = reduce_function(map_values)
+        reduce_seconds = time.perf_counter() - started
+
+        return MapReduceReport(
+            machine_count=self.charge_units,
+            partitions=max(1, len(buckets)),
+            scatter_time=0.0,
+            map_time=map_seconds,
+            gather_time=0.0,
+            reduce_time=reduce_seconds,
+            reduce_value=reduce_value,
+            backend=self.name,
+        )
+
+    def simulate_stage(self, report: MapReduceReport, name: str,
+                       cost: float) -> float:
+        return report.charge_stage(name, cost,
+                                   machine_count=self.charge_units,
+                                   spec=self.machine_spec)
+
+
+def create_backend(config: BackendConfig) -> ExecutionBackend:
+    """Instantiate the backend named by ``config.kind``.
+
+    Imports lazily so that ``repro.exec.backend`` stays importable from the
+    configuration layer without dragging in multiprocessing plumbing.
+    """
+    if config.kind == "serial":
+        from repro.exec.serial import SerialBackend
+        return SerialBackend(config)
+    if config.kind == "process":
+        from repro.exec.process import ProcessBackend
+        return ProcessBackend(config)
+    if config.kind == "distsim":
+        from repro.exec.distsim import DistsimBackend
+        return DistsimBackend(config)
+    raise ValueError(f"unknown backend kind {config.kind!r}")

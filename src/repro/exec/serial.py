@@ -1,0 +1,28 @@
+"""Serial execution backend: everything inline, one process, no simulation.
+
+The reference substrate.  Map and reduce run as plain function calls in
+submission order (see :class:`~repro.exec.backend.InlineBackend`); the
+report's virtual times are the measured wall clock, so
+``DailyResult.timing.total_time`` remains meaningful (it is simply real
+time).  The distance engine is forced onto its serial path regardless of the
+configured worker count — a serial run must never fork.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.exec.backend import InlineBackend
+
+
+class SerialBackend(InlineBackend):
+    """Run every stage inline in the current process."""
+
+    name = "serial"
+
+    def engine_config(self, base):
+        # One process means one worker: even a paper-scale batch must not
+        # spin up a pool behind the serial backend's back.
+        if base.workers == 1:
+            return base
+        return replace(base, workers=1)

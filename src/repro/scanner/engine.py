@@ -192,6 +192,9 @@ class ScanEngine:
         #: resolve each content once; the generation component invalidates
         #: entries as soon as a new signature deploys.
         self.memo = memo
+        #: Telemetry: samples scanned and memo short-circuits, for the
+        #: stage/backend comparison tooling.
+        self.counters = {"scans": 0, "memo_hits": 0}
 
     # ------------------------------------------------------------------
     def normal_form(self, content: str) -> str:
@@ -246,6 +249,7 @@ class ScanEngine:
         signatures pays for one regex instead of all of them.  The exact
         mode keeps the original exhaustive matching.
         """
+        self.counters["scans"] += 1
         if self.mode != "fast":
             normalized = self.normal_form(content)
             matches = self.matching_signatures(
@@ -260,6 +264,7 @@ class ScanEngine:
                    self.database.generation)
             cached = self.memo.get(key)
             if cached is not None:
+                self.counters["memo_hits"] += 1
                 return ScanResult(sample_id=sample_id,
                                   matched_signatures=list(cached))
         normalized = self.normal_form(content)

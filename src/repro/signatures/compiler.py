@@ -46,6 +46,10 @@ class SignatureCompiler:
                  tokenizer=None) -> None:
         self.config = config or SignatureConfig()
         self.tokenizer = tokenizer
+        #: Telemetry for the compile stage: signatures emitted versus
+        #: clusters rejected for lacking a long-enough common window.
+        self.compiled_count = 0
+        self.rejected_count = 0
 
     def compile_cluster(self, contents: Sequence[str], kit: str,
                         created: datetime.date) -> Optional[Signature]:
@@ -56,14 +60,17 @@ class SignatureCompiler:
         emit an imprecise signature).
         """
         if not contents:
+            self.rejected_count += 1
             return None
         columns = align_cluster(list(contents),
                                 max_tokens=self.config.max_window_tokens,
                                 tokenizer=self.tokenizer)
         if columns is None or len(columns) < self.config.min_window_tokens:
+            self.rejected_count += 1
             return None
         pattern = build_pattern(columns,
                                 use_backreferences=self.config.use_backreferences,
                                 length_slack=self.config.length_slack)
+        self.compiled_count += 1
         return Signature(kit=kit, pattern=pattern, created=created,
                          token_length=len(columns), source="kizzle")

@@ -1,0 +1,280 @@
+"""Tests for the pluggable execution backends (repro.exec).
+
+The load-bearing property: backends change *where* work runs, never *what*
+comes out.  On a seeded multi-day stream — warm and cold — the serial,
+process and distsim backends must produce byte-identical cluster labels,
+signatures and per-day FP/FN.  The process pool must additionally be
+deterministic across worker counts (the per-chunk RNG seeding bugfix).
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.core.config import IncrementalConfig, KizzleConfig
+from repro.core.pipeline import Kizzle
+from repro.distance.engine import DistanceEngineConfig
+from repro.ekgen import StreamConfig, TelemetryGenerator
+from repro.exec import (
+    BACKEND_KINDS,
+    BackendConfig,
+    DistsimBackend,
+    ProcessBackend,
+    SerialBackend,
+    create_backend,
+)
+from repro.exec.process import ProcessPairExecutor, SerialPairExecutor, \
+    chunk_seed
+
+D = datetime.date
+KITS = ("nuclear", "angler", "rig", "sweetorange")
+
+
+# ----------------------------------------------------------------------
+# configuration and factory
+# ----------------------------------------------------------------------
+class TestBackendConfig:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            BackendConfig(kind="gpu")
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            BackendConfig(machines=0)
+        with pytest.raises(ValueError):
+            BackendConfig(workers=-1)
+
+    def test_resolved_fills_unset_fields_only(self):
+        config = BackendConfig(kind="process", machines=8)
+        resolved = config.resolved(machines=50, workers=4, seed=7)
+        assert resolved.machines == 8      # explicitly set: kept
+        assert resolved.workers == 4       # inherited
+        assert resolved.seed == 7          # inherited
+
+    def test_kizzle_config_resolves_backend(self):
+        config = KizzleConfig(machines=12, seed=3,
+                              distance=DistanceEngineConfig(workers=2))
+        resolved = config.resolved_backend()
+        assert resolved.kind == "distsim"
+        assert resolved.machines == 12
+        assert resolved.workers == 2
+        assert resolved.seed == 3
+
+    def test_factory_returns_each_kind(self):
+        kinds = {kind: type(create_backend(BackendConfig(kind=kind)))
+                 for kind in BACKEND_KINDS}
+        assert kinds == {"serial": SerialBackend,
+                         "process": ProcessBackend,
+                         "distsim": DistsimBackend}
+
+    def test_serial_backend_forces_single_worker_engine(self):
+        backend = create_backend(BackendConfig(kind="serial"))
+        engine_config = backend.engine_config(DistanceEngineConfig(workers=8))
+        assert engine_config.workers == 1
+        assert backend.pair_executor() is None
+
+    def test_process_and_distsim_supply_pool_executor(self):
+        for kind in ("process", "distsim"):
+            backend = create_backend(BackendConfig(kind=kind, seed=5))
+            executor = backend.pair_executor()
+            assert isinstance(executor, ProcessPairExecutor)
+            assert executor.seed == 5
+
+    def test_clusterer_machine_count_is_backend_invariant(self):
+        """The logical machine count (which sets the default partition
+        count, and therefore shapes clustering output) must come from the
+        configured value on every backend kind, not from the substrate."""
+        from repro.clustering.partition import DistributedClusterer
+
+        counts = {
+            kind: DistributedClusterer(
+                backend=create_backend(
+                    BackendConfig(kind=kind, machines=10))).machines
+            for kind in BACKEND_KINDS}
+        assert counts == {"serial": 10, "process": 10, "distsim": 10}
+
+    def test_zero_cost_stage_charges_nothing(self):
+        """A stage that did no work must not bill scheduler startup
+        latency on the simulated pool (matching charge_stage semantics)."""
+        from repro.distsim.mapreduce import MapReduceReport
+
+        backend = create_backend(BackendConfig(kind="distsim", machines=4))
+        report = MapReduceReport(machine_count=4, partitions=1,
+                                 scatter_time=0.0, map_time=0.0,
+                                 gather_time=0.0, reduce_time=0.0)
+        assert backend.simulate_stage(report, "shed", 0.0) == 0.0
+        assert report.stage_seconds["shed"] == 0.0
+        assert "shed" not in report.stage_utilization
+        assert backend.simulate_stage(report, "shed", 1e6) > 0.0
+
+
+# ----------------------------------------------------------------------
+# deterministic worker seeding
+# ----------------------------------------------------------------------
+class TestChunkSeeding:
+    def test_chunk_seed_depends_on_chunk_not_worker(self):
+        assert chunk_seed(1, 0) != chunk_seed(1, 1)
+        assert chunk_seed(1, 0) != chunk_seed(2, 0)
+        assert chunk_seed(9, 4) == chunk_seed(9, 4)
+
+    def test_serial_and_pool_executors_agree(self):
+        config = DistanceEngineConfig(shared_cache=False, cache_size=0,
+                                      workers=2, chunk_size=2, seed=11)
+        points = [tuple("aaaaaaaaaa"), tuple("aaaaaaaaab"),
+                  tuple("zzzzzzzzzz"), tuple("aaaaabaaab"),
+                  tuple("qqqqqqqqqq"), tuple("qqqqqqqqqr")]
+        pairs = [(i, j) for i in range(len(points))
+                 for j in range(i + 1, len(points))]
+        chunks = [pairs[start:start + 2] for start in range(0, len(pairs), 2)]
+        serial = [decision
+                  for result, _ in SerialPairExecutor(seed=11).decide_chunks(
+                      points, chunks, 0.2, config)
+                  for decision in result]
+        pooled = [decision
+                  for result, _ in ProcessPairExecutor(seed=11).decide_chunks(
+                      points, chunks, 0.2, config)
+                  for decision in result]
+        assert serial == pooled
+
+
+# ----------------------------------------------------------------------
+# backend equivalence on a seeded multi-day stream
+# ----------------------------------------------------------------------
+def _generator():
+    return TelemetryGenerator(StreamConfig(
+        benign_per_day=8,
+        kit_daily_counts={"angler": 6, "nuclear": 4, "sweetorange": 4,
+                          "rig": 3},
+        seed=20140801))
+
+
+def _run_stream(backend_kind, incremental, days=3, distance=None):
+    """Process ``days`` seeded days; return (labels, fp/fn, signatures)."""
+    generator = _generator()
+    config = KizzleConfig(
+        machines=6, min_points=3,
+        distance=distance or DistanceEngineConfig(),
+        incremental=IncrementalConfig(enabled=incremental),
+        backend=BackendConfig(kind=backend_kind))
+    kizzle = Kizzle(config)
+    for kit in KITS:
+        kizzle.seed_known_kit(
+            kit, [generator.reference_core(kit, D(2014, 7, 31))])
+    day_labels, day_fpfn = [], []
+    for offset in range(days):
+        date = D(2014, 8, 1) + datetime.timedelta(days=offset)
+        batch = generator.generate_day(date)
+        result = kizzle.process_day(
+            [(s.sample_id, s.content) for s in batch.samples], date)
+        assert result.backend == backend_kind
+        day_labels.append(sorted(
+            (tuple(sorted(sample.sample_id
+                          for sample in report.cluster.samples)),
+             report.kit)
+            for report in result.clusters))
+        false_positives = sum(
+            1 for sample in batch.benign
+            if kizzle.detects(sample.content, as_of=date))
+        false_negatives = sum(
+            1 for sample in batch.malicious
+            if not kizzle.detects(sample.content, as_of=date))
+        day_fpfn.append((false_positives, false_negatives))
+    signatures = [(s.kit, s.created, s.pattern) for s in kizzle.database]
+    return day_labels, day_fpfn, signatures
+
+
+class TestBackendEquivalence:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("incremental", [False, True],
+                             ids=["cold", "warm"])
+    def test_all_backends_byte_identical(self, incremental):
+        reference = _run_stream("serial", incremental)
+        for kind in ("process", "distsim"):
+            labels, fpfn, signatures = _run_stream(kind, incremental)
+            assert labels == reference[0], f"{kind} cluster labels diverged"
+            assert fpfn == reference[1], f"{kind} FP/FN diverged"
+            assert signatures == reference[2], f"{kind} signatures diverged"
+
+    @pytest.mark.slow
+    def test_worker_count_does_not_change_signatures(self):
+        """Repeated runs with --workers N are byte-identical for any N;
+        a tiny parallel threshold forces the pool to actually engage."""
+        reference = None
+        for workers in (1, 2, 3):
+            distance = DistanceEngineConfig(
+                workers=workers, parallel_threshold=1, chunk_size=1,
+                shared_cache=False)
+            result = _run_stream("process", incremental=False, days=2,
+                                 distance=distance)
+            if reference is None:
+                reference = result
+            else:
+                assert result == reference, \
+                    f"workers={workers} diverged from workers=1"
+
+    def test_pool_path_actually_engaged(self):
+        """The forced-parallel configuration must exercise the executor,
+        otherwise the determinism test above proves nothing."""
+        generator = _generator()
+        config = KizzleConfig(
+            machines=6, min_points=3,
+            distance=DistanceEngineConfig(
+                workers=2, parallel_threshold=1, chunk_size=1,
+                shared_cache=False),
+            backend=BackendConfig(kind="process"))
+        kizzle = Kizzle(config)
+        for kit in KITS:
+            kizzle.seed_known_kit(
+                kit, [generator.reference_core(kit, D(2014, 7, 31))])
+        date = D(2014, 8, 1)
+        batch = generator.generate_day(date)
+        kizzle.process_day(
+            [(s.sample_id, s.content) for s in batch.samples], date)
+        assert kizzle.clusterer.engine.stats.executor_pairs > 0
+
+
+# ----------------------------------------------------------------------
+# backend-specific reporting
+# ----------------------------------------------------------------------
+class TestBackendReports:
+    def _warm_result(self, backend_kind):
+        generator = _generator()
+        config = KizzleConfig(
+            machines=6, min_points=3,
+            incremental=IncrementalConfig(enabled=True),
+            backend=BackendConfig(kind=backend_kind))
+        kizzle = Kizzle(config)
+        for kit in KITS:
+            kizzle.seed_known_kit(
+                kit, [generator.reference_core(kit, D(2014, 7, 31))])
+        day = D(2014, 8, 5)
+        samples = [(s.sample_id, s.content)
+                   for s in generator.generate_day(day).samples]
+        kizzle.process_day(samples, day)
+        return kizzle.process_day(samples, day + datetime.timedelta(days=1))
+
+    def test_distsim_stage_tasks_report_utilization(self):
+        result = self._warm_result("distsim")
+        timing = result.timing
+        assert timing.backend == "distsim"
+        assert timing.stage_seconds["shed"] > 0
+        # Simulated via real scheduled tasks: utilization is observable.
+        assert 0.0 < timing.stage_utilization["shed"] <= 1.0
+        assert "util_shed" in timing.summary()
+
+    def test_serial_report_has_no_simulated_network(self):
+        result = self._warm_result("serial")
+        timing = result.timing
+        assert timing.backend == "serial"
+        assert timing.machine_count == 1
+        assert timing.scatter_time == 0.0 and timing.gather_time == 0.0
+        # Stage charging still records virtual seconds for telemetry.
+        assert "shed" in timing.stage_seconds
+        assert timing.stage_utilization == {}
+
+    def test_process_report_scales_charge_by_workers(self):
+        result = self._warm_result("process")
+        assert result.timing.backend == "process"
+        assert result.timing.machine_count >= 1

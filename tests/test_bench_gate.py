@@ -54,6 +54,43 @@ class TestCompareRuns:
         assert len(regressions) == 1
 
 
+class TestPerStageSeries:
+    def _artifact(self, tmp_path, name, mean, extra_info):
+        payload = {"date": name, "benchmarks": [
+            {"name": "paper_day", "fullname": "paper_day", "rounds": 1,
+             "mean_s": mean, "stddev_s": 0.0, "min_s": mean, "max_s": mean,
+             "extra_info": extra_info}]}
+        path = tmp_path / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_stage_walls_become_named_series(self, tmp_path):
+        path = self._artifact(tmp_path, "2026-01-01", 10.0,
+                              {"wall_cluster_s": 4.0, "wall_shed_s": 1.0,
+                               "samples": 20000, "shed_fraction": 0.6})
+        series = check_regression.load_benchmarks(path)
+        assert series["paper_day"] == 10.0
+        assert series["paper_day[cluster]"] == 4.0
+        assert series["paper_day[shed]"] == 1.0
+        # Non-wall extra info must not be gated.
+        assert "paper_day[samples]" not in series
+        assert not any("shed_fraction" in name for name in series)
+
+    def test_stage_regression_fails_even_when_total_flat(self, tmp_path):
+        """A stage that doubles while another shrinks must fail the gate
+        even though the end-to-end mean is unchanged."""
+        self._artifact(tmp_path, "2026-01-01", 10.0,
+                       {"wall_cluster_s": 4.0, "wall_compile_s": 4.0})
+        self._artifact(tmp_path, "2026-01-02", 10.0,
+                       {"wall_cluster_s": 0.5, "wall_compile_s": 8.0})
+        assert check_regression.main([str(tmp_path)]) == 1
+
+    def test_tiny_stage_walls_not_gated(self, tmp_path):
+        self._artifact(tmp_path, "2026-01-01", 10.0, {"wall_shed_s": 0.01})
+        self._artifact(tmp_path, "2026-01-02", 10.0, {"wall_shed_s": 0.04})
+        assert check_regression.main([str(tmp_path)]) == 0
+
+
 class TestMain:
     def _write_artifact(self, root, name, benchmarks):
         payload = {"date": name, "benchmarks": [

@@ -75,3 +75,34 @@ class TestCommands:
         assert args.incremental and args.no_shed
         assert args.scan_mode == "exact"
         assert args.scale == 2.0
+
+    def test_backend_flag_parsed(self):
+        assert build_parser().parse_args(
+            ["process-day"]).backend == "distsim"
+        for kind in ("serial", "process", "distsim"):
+            args = build_parser().parse_args(
+                ["--backend", kind, "process-day"])
+            assert args.backend == kind
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--backend", "gpu", "process-day"])
+
+    def test_process_day_serial_backend(self):
+        code, output = run_cli(SMALL_STREAM + ["--backend", "serial",
+                                               "process-day",
+                                               "--date", "2014-08-05"])
+        assert code == 0
+        assert "backend=serial" in output
+
+    def test_backends_print_identical_clusters(self):
+        outputs = []
+        for kind in ("serial", "distsim"):
+            code, output = run_cli(SMALL_STREAM + ["--backend", kind,
+                                                   "process-day",
+                                                   "--date", "2014-08-05"])
+            assert code == 0
+            outputs.append("\n".join(
+                line for line in output.splitlines()
+                if "backend=" not in line))
+        assert outputs[0] == outputs[1]

@@ -1,0 +1,164 @@
+"""Tests for the stage graph (repro.core.stages) and the pipeline's graph.
+
+The graph machinery itself is exercised with synthetic stages (validation,
+provides contracts, itemized chains, wall accounting); the pipeline-facing
+tests pin the day graph's shape and the per-stage walls surfaced through
+``DailyResult``.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.core.config import IncrementalConfig, KizzleConfig
+from repro.core.pipeline import Kizzle
+from repro.core.stages import Stage, StageGraph, StageGraphError
+
+D = datetime.date
+
+
+class TestStageGraphMechanics:
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(StageGraphError):
+            StageGraph([Stage("a", lambda ctx: None),
+                        Stage("a", lambda ctx: None)])
+
+    def test_missing_requirement_rejected(self):
+        graph = StageGraph([
+            Stage("consume", lambda ctx: None, requires=("missing",))])
+        with pytest.raises(StageGraphError, match="missing"):
+            graph.run({"present": 1})
+
+    def test_requirement_satisfied_by_earlier_stage(self):
+        def produce(ctx):
+            ctx["value"] = 2
+
+        def consume(ctx):
+            ctx["doubled"] = ctx["value"] * 2
+
+        graph = StageGraph([
+            Stage("produce", produce, provides=("value",)),
+            Stage("consume", consume, requires=("value",),
+                  provides=("doubled",))])
+        context = {}
+        graph.run(context)
+        assert context["doubled"] == 4
+
+    def test_unfulfilled_provides_contract_fails(self):
+        graph = StageGraph([
+            Stage("liar", lambda ctx: None, provides=("promised",))])
+        with pytest.raises(StageGraphError, match="promised"):
+            graph.run({})
+
+    def test_itemized_chain_runs_depth_first(self):
+        """Item i must flow through the whole chain before item i+1 starts
+        — the property that preserves same-day corpus feedback between the
+        label and compile stages."""
+        order = []
+
+        def first(ctx, item, carry):
+            order.append(("first", item))
+            return item * 10
+
+        def second(ctx, item, carry):
+            order.append(("second", item))
+            ctx["out"].append(carry + item)
+            return carry
+
+        graph = StageGraph([
+            Stage("setup", lambda ctx: ctx.update(items=[1, 2], out=[]),
+                  provides=("items", "out")),
+            Stage("first", first, over="items"),
+            Stage("second", second, over="items"),
+        ])
+        context = {}
+        graph.run(context)
+        assert order == [("first", 1), ("second", 1),
+                         ("first", 2), ("second", 2)]
+        assert context["out"] == [11, 22]
+
+    def test_walls_recorded_per_stage(self):
+        graph = StageGraph([
+            Stage("setup", lambda ctx: ctx.update(items=[1, 2, 3]),
+                  provides=("items",)),
+            Stage("work", lambda ctx, item, carry: None, over="items"),
+        ])
+        walls = graph.run({})
+        assert set(walls) == {"setup", "work"}
+        assert all(seconds >= 0.0 for seconds in walls.values())
+        assert graph.last_walls == walls
+
+    def test_describe_lists_dataflow(self):
+        graph = StageGraph([
+            Stage("produce", lambda ctx: None, requires=("samples",),
+                  provides=("value",)),
+            Stage("per_item", lambda ctx, item, carry: None, over="value"),
+        ])
+        text = graph.describe()
+        assert "produce[samples -> value]" in text
+        assert "per_item (per value)" in text
+        assert graph.names() == ["produce", "per_item"]
+
+
+class TestPipelineGraph:
+    CANONICAL = ["shed", "prepare", "cluster", "label", "compile", "finalize"]
+
+    def test_cold_graph_shape(self):
+        kizzle = Kizzle(KizzleConfig(machines=4))
+        assert kizzle.day_graph().names() == self.CANONICAL
+
+    def test_warm_graph_same_shape_different_impls(self):
+        """The warm path is stage substitution, not a forked graph."""
+        cold = Kizzle(KizzleConfig(machines=4))
+        warm = Kizzle(KizzleConfig(
+            machines=4, incremental=IncrementalConfig(enabled=True)))
+        assert warm.day_graph().names() == cold.day_graph().names()
+        by_name = {stage.name: stage for stage in cold.day_graph().stages}
+        warm_by_name = {stage.name: stage
+                        for stage in warm.day_graph().stages}
+        for name in ("shed", "prepare", "label", "finalize"):
+            assert by_name[name].fn.__name__ != warm_by_name[name].fn.__name__
+        for name in ("cluster", "compile"):
+            assert by_name[name].fn.__name__ == warm_by_name[name].fn.__name__
+
+    def test_day_result_carries_stage_walls(self, small_generator):
+        kizzle = Kizzle(KizzleConfig(machines=4))
+        day = D(2014, 8, 5)
+        batch = small_generator.generate_day(day)
+        result = kizzle.process_day(
+            [(s.sample_id, s.content) for s in batch.samples], day)
+        assert set(result.stage_walls) == set(self.CANONICAL)
+        summary = result.summary()
+        for stage in self.CANONICAL:
+            assert f"wall_{stage}_s" in summary
+
+    def test_warm_day_reports_prepared_cache_stats(self, small_generator):
+        kizzle = Kizzle(KizzleConfig(
+            machines=4, incremental=IncrementalConfig(enabled=True)))
+        for kit in ("nuclear", "angler", "rig", "sweetorange"):
+            kizzle.seed_known_kit(
+                kit, [small_generator.reference_core(kit, D(2014, 7, 31))])
+        day = D(2014, 8, 5)
+        samples = [(s.sample_id, s.content)
+                   for s in small_generator.generate_day(day).samples]
+        first = kizzle.process_day(samples, day)
+        assert first.prepared_stats["raw_misses"] > 0
+        # The repeated day reuses every prepared form: the lexer does not
+        # run at all, and the counters are per-day deltas.
+        second = kizzle.process_day(samples,
+                                    day + datetime.timedelta(days=1))
+        assert second.prepared_stats["raw_misses"] == 0
+        summary = second.summary()
+        assert summary["prepared_lexer_runs"] == 0
+        assert summary["prepared_hits"] > 0
+
+    def test_cold_day_reports_no_prepared_stats(self, small_generator):
+        kizzle = Kizzle(KizzleConfig(machines=4))
+        day = D(2014, 8, 5)
+        batch = small_generator.generate_day(day)
+        result = kizzle.process_day(
+            [(s.sample_id, s.content) for s in batch.samples], day)
+        assert result.prepared_stats == {}
+        assert "prepared_lexer_runs" not in result.summary()
