@@ -1,4 +1,4 @@
-"""Benchmark-regression gate: compare the newest two ``BENCH_<date>.json``.
+"""Benchmark-regression gate: compare the newest two ``BENCH_*.json``.
 
 Usage (CI runs this right after the benchmark suite)::
 
@@ -10,6 +10,15 @@ and exits non-zero if any slowed down by more than the threshold (default
 25%).  Benchmarks present in only one artifact are reported but never fail
 the gate (new benchmarks appear, old ones are retired), and sub-50ms means
 are ignored — at that scale the signal is noise.
+
+Artifacts are named ``BENCH_<date>.json`` for the first run of a day and
+``BENCH_<date>_<n>.json`` for same-day reruns (``n`` monotonically
+increasing; the suffixless artifact counts as run 1).  The conftest
+allocates names through :func:`next_artifact_name`, so a rerun can never
+overwrite the artifact it must be compared against, and recency is decided
+by :func:`artifact_key` — ``(date, run)`` with the run parsed numerically —
+never by raw filename order (lexicographically ``_10`` would sort before
+``_9``).  :func:`prune_history` bounds the retained history.
 
 Per-stage walls are gated too: a benchmark whose ``extra_info`` carries
 ``wall_<stage>_s`` entries (the paper-scale day and month runs serialize
@@ -27,11 +36,68 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import re
 import sys
 from typing import Dict, List, Tuple
 
 #: Means below this are treated as noise and never gated.
 MIN_GATED_SECONDS = 0.05
+
+#: Artifacts kept when the history is pruned (see :func:`prune_history`).
+DEFAULT_HISTORY = 10
+
+#: ``BENCH_<date>.json`` or ``BENCH_<date>_<n>.json``.
+_ARTIFACT_RE = re.compile(r"^BENCH_(?P<date>.+?)(?:_(?P<run>\d+))?\.json$")
+
+
+# ----------------------------------------------------------------------
+# artifact naming and selection
+# ----------------------------------------------------------------------
+def artifact_key(path: pathlib.Path) -> Tuple[str, int]:
+    """Recency key ``(date, run)`` of one artifact.
+
+    The suffixless first run of a day is run 1; the run suffix is compared
+    numerically so ``_10`` is newer than ``_9``.  A name the pattern does
+    not recognize sorts by its stem with run 0 (older than any recognized
+    run of the same stem).
+    """
+    match = _ARTIFACT_RE.match(path.name)
+    if match is None:
+        return path.stem, 0
+    return match.group("date"), int(match.group("run") or 1)
+
+
+def select_artifacts(root: pathlib.Path) -> List[pathlib.Path]:
+    """Every ``BENCH_*.json`` under ``root``, oldest first by
+    :func:`artifact_key`."""
+    return sorted(root.glob("BENCH_*.json"), key=artifact_key)
+
+
+def next_artifact_name(root: pathlib.Path, date: str) -> str:
+    """The name the next run of ``date`` should serialize to.
+
+    The first run of a day keeps the historical ``BENCH_<date>.json``;
+    reruns get ``_<n>`` suffixes above the highest run already present, so
+    a same-day rerun never clobbers the baseline it will be gated against.
+    """
+    runs = [artifact_key(path)[1] for path in root.glob("BENCH_*.json")
+            if artifact_key(path)[0] == date]
+    if not runs:
+        return f"BENCH_{date}.json"
+    return f"BENCH_{date}_{max(runs) + 1}.json"
+
+
+def prune_history(root: pathlib.Path,
+                  keep: int = DEFAULT_HISTORY) -> List[pathlib.Path]:
+    """Delete all but the newest ``keep`` artifacts; returns the deleted
+    paths (oldest first)."""
+    if keep < 1:
+        raise ValueError("keep must be at least 1")
+    artifacts = select_artifacts(root)
+    doomed = artifacts[:-keep] if len(artifacts) > keep else []
+    for path in doomed:
+        path.unlink()
+    return doomed
 
 
 def load_benchmarks(path: pathlib.Path) -> Dict[str, float]:
@@ -93,7 +159,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     root = pathlib.Path(args.root)
-    artifacts = sorted(root.glob("BENCH_*.json"))
+    artifacts = select_artifacts(root)
     if len(artifacts) < 2:
         print(f"benchmark gate: {len(artifacts)} artifact(s) under "
               f"{root} - nothing to compare, passing")

@@ -14,12 +14,16 @@ import datetime
 import json
 import pathlib
 import platform
+import sys
 
 import pytest
 
 from repro.core.config import KizzleConfig
 from repro.ekgen import StreamConfig, TelemetryGenerator
 from repro.evalharness import ExperimentConfig, MonthExperiment
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import check_regression as bench_gate  # noqa: E402 - needs the path above
 
 AUGUST_START = datetime.date(2014, 8, 1)
 AUGUST_END = datetime.date(2014, 8, 31)
@@ -41,8 +45,15 @@ def pytest_collection_modifyitems(config, items):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Serialize pytest-benchmark results to ``BENCH_<date>.json`` at the
-    repo root so the performance trajectory is tracked PR-over-PR."""
+    """Serialize pytest-benchmark results to a ``BENCH_*`` artifact at the
+    repo root so the performance trajectory is tracked PR-over-PR.
+
+    Same-day reruns get a monotonic run suffix (``BENCH_<date>_<n>.json``)
+    instead of overwriting the day's earlier artifact — the regression gate
+    compares the newest two artifacts, so clobbering the previous run would
+    silently destroy its own baseline.  History is bounded: only the newest
+    ``check_regression.DEFAULT_HISTORY`` artifacts are kept.
+    """
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None or not bench_session.benchmarks:
         return
@@ -64,9 +75,11 @@ def pytest_sessionfinish(session, exitstatus):
             for bench in bench_session.benchmarks
         ],
     }
-    path = REPO_ROOT / f"BENCH_{payload['date']}.json"
+    path = REPO_ROOT / bench_gate.next_artifact_name(REPO_ROOT,
+                                                     payload["date"])
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
+    bench_gate.prune_history(REPO_ROOT)
 
 
 @pytest.fixture(scope="session")

@@ -88,9 +88,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "simulated pool size for --backend distsim")
     parser.add_argument("--workers", type=_nonnegative_int, default=0,
                         help="worker-pool width, wired through the backend "
-                             "config to the distance-engine fan-out "
+                             "config to the partition-level map pool and "
+                             "the distance-engine fan-out "
                              "(0 = auto-detect CPU count, 1 = serial; "
                              "ignored by --backend serial)")
+    parser.add_argument("--partition-parallel",
+                        action=argparse.BooleanOptionalAction, default=True,
+                        help="run the per-partition map (tokenize + DBSCAN) "
+                             "on a persistent --workers-wide process pool "
+                             "(default on; results are byte-identical "
+                             "either way, and batches with a single "
+                             "partition or worker stay inline; ignored by "
+                             "--backend serial)")
     parser.add_argument("--no-length-filter", action="store_true",
                         help="disable the length-gap distance prefilter")
     parser.add_argument("--no-bag-filter", action="store_true",
@@ -171,7 +180,8 @@ def _backend_config(args: argparse.Namespace) -> BackendConfig:
     # machines/workers flow through the backend config; the unset fields
     # (seed) inherit the pipeline values via KizzleConfig.resolved_backend.
     return BackendConfig(kind=args.backend, machines=args.machines,
-                         workers=args.workers)
+                         workers=args.workers,
+                         partition_parallel=args.partition_parallel)
 
 
 def _kizzle_config(args: argparse.Namespace) -> KizzleConfig:

@@ -11,7 +11,7 @@ clusters and the timing breakdown are produced in one run.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, \
     TYPE_CHECKING
 
@@ -143,6 +143,90 @@ def cluster_partition(samples: Sequence[ClusteredSample],
     return clusters, result.comparisons
 
 
+def partition_map_cost(samples: Sequence[ClusteredSample],
+                       comparisons: int, epsilon: float) -> float:
+    """Abstract work units of one partition's map: comparisons weighted by
+    the typical banded-DP cost per pair.  One formula shared by the inline
+    map and the partition-parallel workers, so the simulated machine time a
+    backend charges never depends on where the map actually ran."""
+    average_length = (sum(len(sample.tokens) for sample in samples)
+                      / max(1, len(samples)))
+    return comparisons * max(1.0, epsilon * average_length) * average_length
+
+
+@dataclass
+class PartitionMapResult:
+    """What one per-partition map task sends back to the driver.
+
+    Besides the clusters themselves, the worker ships its distance-engine
+    accounting (:attr:`stats`) and every exact distance it computed
+    (:attr:`cache_entries`) so the parent engine can merge both: the stats
+    keep the per-layer attribution whole, and the cache entries let the
+    reduce step reuse distances the map phase already paid for — the same
+    benefit the inline path gets from sharing one engine.
+    """
+
+    index: int
+    clusters: List[Cluster]
+    comparisons: int
+    cost: float
+    output_bytes: float
+    stats: Dict[str, int] = field(default_factory=dict)
+    cache_entries: List[Tuple[Tuple[str, ...], Tuple[str, ...], int]] = \
+        field(default_factory=list)
+
+
+@dataclass
+class PartitionMapTask:
+    """One whole per-partition map, shippable to a child process.
+
+    Self-contained and picklable: the samples (already tokenized by the
+    prepare stage), the DBSCAN parameters, and a worker-safe engine
+    configuration travel with the task, so a persistent pool needs no
+    per-day re-initialization.  :meth:`run` is the single execution path —
+    pool workers and the serial fallback call exactly the same code, which
+    is what makes partition-parallel execution byte-identical to inline by
+    construction.
+    """
+
+    index: int
+    samples: List[ClusteredSample]
+    epsilon: float
+    min_points: int
+    engine_config: DistanceEngineConfig
+    seed: int = 0
+
+    def worker_engine(self) -> DistanceEngine:
+        """A fresh engine for this task: strictly in-process (a pool worker
+        is daemonic and must never fork its own pool) with a private cache
+        whose exact distances are exported back to the parent."""
+        return DistanceEngine(replace(self.engine_config, workers=1,
+                                      shared_cache=False))
+
+    def run(self) -> PartitionMapResult:
+        from repro.exec.process import chunk_seed
+
+        random.seed(chunk_seed(self.seed, self.index))
+        engine = self.worker_engine()
+        # Tokenization is part of the map (the paper's per-machine work):
+        # partitions arrive raw from a cold start and prepared from the
+        # warm path's cache, and either way the tokenized forms feed both
+        # DBSCAN below and the cost accounting.
+        prepared = [sample.ensure_tokens() for sample in self.samples]
+        clusters, comparisons = cluster_partition(
+            prepared, epsilon=self.epsilon, min_points=self.min_points,
+            engine=engine)
+        return PartitionMapResult(
+            index=self.index,
+            clusters=clusters,
+            comparisons=comparisons,
+            cost=partition_map_cost(prepared, comparisons, self.epsilon),
+            output_bytes=float(sum(len(cluster.prototype.content)
+                                   for cluster in clusters)),
+            stats=engine.stats.as_dict(),
+            cache_entries=engine.export_cache())
+
+
 class DistributedClusterer:
     """Partition + cluster + merge, executed through a pluggable backend.
 
@@ -179,6 +263,13 @@ class DistributedClusterer:
     #: would starve every partition below the DBSCAN density requirement and
     #: turn everything into noise, so the default adapts to the batch size.
     MIN_SAMPLES_PER_PARTITION = 50
+
+    #: Minimum partition size (samples) before *pre-tokenized* buckets are
+    #: worth shipping to the partition pool: below this the per-partition
+    #: DBSCAN is so cheap that pickling the contents out costs more than
+    #: the overlap buys.  Untokenized buckets always fan out — lexing
+    #: dominates and parallelizes perfectly.  Instance-tunable for tests.
+    pooled_partition_min = 256
 
     def __init__(self, epsilon: float = 0.10, min_points: int = 3,
                  sim_cluster: Optional[SimCluster] = None,
@@ -226,17 +317,27 @@ class DistributedClusterer:
             ) -> Tuple[List[Cluster], MapReduceReport]:
         """Cluster a daily batch of samples.
 
+        The map-over-partitions runs on the backend's partition executor
+        (a persistent process pool) when one is supplied and the batch is
+        worth fanning out; otherwise it runs inline through the backend's
+        map/reduce driver.  Both paths execute the same per-partition code
+        against the same buckets, so the merged clusters are byte-identical.
         Returns the final merged clusters (with globally unique ids) and the
         map/reduce timing report.
         """
-        prepared = [sample.ensure_tokens() for sample in samples]
+        # Tokenization belongs to the *map*: each partition tokenizes its
+        # own bucket (inline or in a pool worker), which is both what the
+        # paper distributes and what lets the partition pool parallelize a
+        # cold day's dominant cost.  Partitioning only shuffles by seeded
+        # index, so bucket membership is independent of token state.
         if partitions is not None:
             partition_count = partitions
         else:
             partition_count = min(
                 self.machines,
-                max(1, len(prepared) // self.MIN_SAMPLES_PER_PARTITION))
-        buckets = partition_samples(prepared, partition_count, seed=self.seed)
+                max(1, len(samples) // self.MIN_SAMPLES_PER_PARTITION))
+        buckets = partition_samples(list(samples), partition_count,
+                                    seed=self.seed)
 
         def map_function(partition_items: Sequence[List[ClusteredSample]]
                          ) -> Tuple[List[Cluster], float, float]:
@@ -244,15 +345,12 @@ class DistributedClusterer:
             # items are the pre-shuffled buckets, so flatten them back into a
             # single list of samples for this partition.
             bucket: List[ClusteredSample] = [
-                sample for item in partition_items for sample in item]
+                sample.ensure_tokens() for item in partition_items
+                for sample in item]
             clusters, comparisons = cluster_partition(
                 bucket, epsilon=self.epsilon, min_points=self.min_points,
                 engine=self.engine)
-            # Work: comparisons weighted by typical banded-DP cost per pair.
-            average_length = (sum(len(sample.tokens) for sample in bucket)
-                              / max(1, len(bucket)))
-            cost = comparisons * max(1.0, self.epsilon * average_length) \
-                * average_length
+            cost = partition_map_cost(bucket, comparisons, self.epsilon)
             output_bytes = sum(len(cluster.prototype.content)
                                for cluster in clusters)
             return clusters, cost, output_bytes
@@ -271,14 +369,63 @@ class DistributedClusterer:
                 * average_length
             return merged, cost
 
+        def item_bytes(bucket: List[ClusteredSample]) -> float:
+            return float(sum(len(sample.content) for sample in bucket))
+
         before = EngineStats(**self.engine.stats.as_dict())
-        report = self.backend.run_mapreduce(
-            buckets, map_function, reduce_function,
-            item_bytes=lambda bucket: float(
-                sum(len(sample.content) for sample in bucket)))
+        executor = self.backend.partition_executor()
+        if executor is not None and executor.should_engage(len(buckets)) \
+                and self._worth_fanning_out(buckets):
+            report = self._run_partition_parallel(buckets, executor,
+                                                  reduce_function, item_bytes)
+        else:
+            report = self.backend.run_mapreduce(
+                buckets, map_function, reduce_function, item_bytes=item_bytes)
         delta = EngineStats(**{
             name: value - getattr(before, name)
             for name, value in self.engine.stats.as_dict().items()})
         report.distance_stats = delta.as_dict()
         merged: List[Cluster] = report.reduce_value or []
         return merged, report
+
+    def _worth_fanning_out(self, buckets: List[List[ClusteredSample]]
+                           ) -> bool:
+        """Whether shipping these buckets to the pool can pay for itself.
+
+        Raw (untokenized) buckets always do — the map then carries the
+        lexer, a cold day's dominant cost.  Pre-tokenized buckets (the warm
+        path's cache output) only fan out when partitions are big enough
+        for DBSCAN itself to outweigh the serialization overhead.
+        """
+        if any(not sample.tokens for bucket in buckets for sample in bucket):
+            return True
+        return max(len(bucket) for bucket in buckets) \
+            >= self.pooled_partition_min
+
+    def _run_partition_parallel(
+            self, buckets: List[List[ClusteredSample]], executor,
+            reduce_function: Callable[[List[List[Cluster]]],
+                                      Tuple[List[Cluster], float]],
+            item_bytes: Callable[[List[ClusteredSample]], float]
+            ) -> MapReduceReport:
+        """Fan the whole per-partition map out over the partition executor.
+
+        Each partition's tokenize/DBSCAN/prototype work runs in a child
+        process; the clusters come back with the worker's engine stats and
+        every exact distance it computed, which are merged into the parent
+        engine (so the reduce step reuses the map phase's distance work, as
+        the inline path does through its shared engine).  The reduce itself
+        stays in-process on the shared engine.
+        """
+        tasks = [PartitionMapTask(index=index, samples=bucket,
+                                  epsilon=self.epsilon,
+                                  min_points=self.min_points,
+                                  engine_config=self.engine.config,
+                                  seed=self.seed)
+                 for index, bucket in enumerate(buckets)]
+        results, pool_seconds = executor.run(tasks)
+        for result in results:
+            self.engine.absorb_remote(result.stats, result.cache_entries)
+        return self.backend.run_partition_map(
+            buckets, results, pool_seconds, executor.pool_width(),
+            reduce_function, item_bytes)

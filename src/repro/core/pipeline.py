@@ -148,6 +148,25 @@ class Kizzle:
         self.corpus.add_many(kit, unpacked_samples)
 
     # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the backend's pooled resources (idempotent).
+
+        The partition-parallel backends keep a persistent worker pool alive
+        across days; a long-lived embedding application should close the
+        pipeline when done (or use it as a context manager).  Processing
+        after ``close`` is safe — the pool is re-created on demand.
+        """
+        self.backend.close()
+
+    def __enter__(self) -> "Kizzle":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # the stage graph
     # ------------------------------------------------------------------
     def _build_day_graph(self) -> StageGraph:
@@ -299,10 +318,15 @@ class Kizzle:
 
     # -- prepare: tokenize survivors and sentinels ------------------------
     def _stage_prepare_cold(self, context: Dict[str, Any]) -> None:
-        """Tokenize from scratch — the cold path deliberately bypasses the
-        preparation cache so every day remains an independent cold start."""
+        """Stage raw samples for clustering — the cold path deliberately
+        bypasses the preparation cache so every day remains an independent
+        cold start.  Tokenization is deferred to the cluster stage's
+        per-partition map (``ensure_tokens`` is deterministic, so *where*
+        the lexer runs never changes results), which lets a partition-
+        parallel backend spread a cold day's dominant cost — lexing — over
+        its worker pool instead of paying it serially here."""
         context["prepared"] = [
-            ClusteredSample.from_content(sample_id, content)
+            ClusteredSample(sample_id=sample_id, content=content)
             for sample_id, content in context["survivors"]]
         context["sentinel_ids"] = set()
 
@@ -324,10 +348,17 @@ class Kizzle:
                                    for sample in sentinel_samples}
 
     # -- cluster: partition + DBSCAN + merge through the backend ----------
-    def _stage_cluster(self, context: Dict[str, Any]) -> None:
+    def _stage_cluster(self, context: Dict[str, Any]
+                       ) -> Optional[Dict[str, float]]:
         """Cluster survivors and sentinels together.  Sentinel weights feed
         the DBSCAN density requirement and prototype selection, so the
-        result matches clustering the full batch."""
+        result matches clustering the full batch.
+
+        The partition-level map dispatches through the backend (persistent
+        worker pool when one is supplied and the batch is large enough,
+        inline otherwise); when it ran on the pool, the pool's measured
+        wall clock is surfaced as the ``cluster.map`` sub-wall.
+        """
         prepared = context["prepared"]
         clusters, timing = self.clusterer.run(
             prepared, partitions=self.config.partitions)
@@ -344,6 +375,9 @@ class Kizzle:
         context["clusters"] = clusters
         context["timing"] = timing
         context["result"] = result
+        if timing.map_workers > 1:
+            return {"map": timing.map_wall_seconds}
+        return None
 
     # -- label: inherit from yesterday's anchors, or unpack and winnow ----
     def _stage_label_cold(self, context: Dict[str, Any], cluster: Cluster,

@@ -25,7 +25,11 @@ The graph records wall-clock seconds per stage on every run
 (:attr:`StageGraph.last_walls`), which the pipeline surfaces through
 ``DailyResult.timing.wall_stage_seconds`` — itemized stages in a chain are
 timed individually, so label and compile costs stay attributable even
-though they interleave.
+though they interleave.  A context stage may additionally return a mapping
+of sub-stage walls (``{"map": seconds}``), recorded as dotted entries
+(``cluster.map``) alongside its own wall — this is how the cluster stage
+attributes the partition-parallel map's pool time inside its total without
+the graph knowing anything about execution backends.
 """
 
 from __future__ import annotations
@@ -49,8 +53,10 @@ class Stage:
     name:
         Unique stage name; the key under which wall time is recorded.
     fn:
-        ``fn(context)`` for context stages; ``fn(context, item, carry)``
-        returning the next ``carry`` for itemized stages.
+        ``fn(context)`` for context stages — optionally returning a
+        ``{sub_name: seconds}`` mapping recorded as ``name.sub_name`` wall
+        entries; ``fn(context, item, carry)`` returning the next ``carry``
+        for itemized stages.
     requires / provides:
         Context keys the stage reads / writes.  Validated on every run:
         a stage whose requirements are not provided by the initial context
@@ -109,8 +115,12 @@ class StageGraph:
             stage = stages[index]
             if stage.over is None:
                 started = time.perf_counter()
-                stage.fn(context)
+                sub_walls = stage.fn(context)
                 walls[stage.name] += time.perf_counter() - started
+                if isinstance(sub_walls, dict):
+                    for sub_name, seconds in sub_walls.items():
+                        key = f"{stage.name}.{sub_name}"
+                        walls[key] = walls.get(key, 0.0) + float(seconds)
                 self._check_provides(stage, context)
                 index += 1
                 continue

@@ -224,6 +224,16 @@ class PairDistanceCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def items(self) -> List[Tuple[TokenString, TokenString, int]]:
+        """Every cached ``(a, b, distance)`` triple, oldest first.
+
+        Exact and content-addressed, so the entries are valid in any other
+        engine's cache — this is what lets a per-partition worker ship its
+        computed distances back to the parent.
+        """
+        return [(a, b, distance)
+                for (a, b), distance in self._entries.items()]
+
     def clear(self) -> None:
         self._entries.clear()
 
@@ -321,6 +331,28 @@ class DistanceEngine:
             profile = PointProfile(key, self.config.qgram_size)
             self._profiles[key] = profile
         return profile
+
+    # -- remote aggregation --------------------------------------------
+    def export_cache(self) -> List[Tuple[TokenString, TokenString, int]]:
+        """The cache's exact distances, for shipping to another engine."""
+        return self.cache.items()
+
+    def absorb_remote(self, stats: Dict[str, int],
+                      cache_entries: Iterable[
+                          Tuple[TokenString, TokenString, int]] = ()
+                      ) -> None:
+        """Merge a remote engine's accounting and distances into this one.
+
+        Used by the partition-parallel map: each worker clusters its
+        partition on a fresh engine and sends back ``stats.as_dict()`` plus
+        :meth:`export_cache`.  Aggregating the stats keeps the per-layer
+        attribution identical to inline execution (the pairs were genuinely
+        decided, just elsewhere), and seeding the cache lets the in-process
+        reduce step reuse the map phase's exact distances.
+        """
+        self.stats.add(EngineStats(**stats))
+        for a, b, distance in cache_entries:
+            self.cache.put(a, b, distance)
 
     # -- single-pair queries -------------------------------------------
     def exact_distance(self, a: Sequence[str], b: Sequence[str]) -> int:

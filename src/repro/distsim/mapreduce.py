@@ -50,6 +50,12 @@ class MapReduceReport:
     #: Mean machine utilization per extra charged stage, derived from the
     #: real scheduled tasks when the distsim backend simulates the stage.
     stage_utilization: Dict[str, float] = field(default_factory=dict)
+    #: Real worker-pool width the partition-level map executed with
+    #: (``1`` = the map ran inline in the driver process).
+    map_workers: int = 1
+    #: Measured wall-clock seconds of the partition-parallel map (the real
+    #: pool, not simulated time); ``0.0`` when the map ran inline.
+    map_wall_seconds: float = 0.0
 
     @property
     def total_time(self) -> float:
@@ -97,6 +103,9 @@ class MapReduceReport:
             "total_minutes": self.total_time / 60.0,
             "reduce_fraction": self.reduce_fraction,
         }
+        if self.map_workers > 1:
+            summary["map_workers"] = float(self.map_workers)
+            summary["map_wall_s"] = self.map_wall_seconds
         if self.distance_stats:
             summary.update({f"distance_{name}": float(value)
                             for name, value in self.distance_stats.items()})

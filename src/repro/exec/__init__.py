@@ -24,6 +24,7 @@ __all__ = [
     "DistsimBackend",
     "ProcessPairExecutor",
     "SerialPairExecutor",
+    "PartitionPoolExecutor",
 ]
 
 #: Lazily-resolved names -> defining submodule (PEP 562).
@@ -33,6 +34,7 @@ _LAZY = {
     "ProcessPairExecutor": "repro.exec.process",
     "SerialPairExecutor": "repro.exec.process",
     "DistsimBackend": "repro.exec.distsim",
+    "PartitionPoolExecutor": "repro.exec.partition",
 }
 
 

@@ -59,6 +59,13 @@ class BackendConfig:
         Process-pool width for the distance fan-out (process/distsim
         backends).  ``0`` auto-detects; ``None`` inherits
         ``DistanceEngineConfig.workers``.
+    partition_parallel:
+        Run the *partition-level* map (tokenize + DBSCAN per partition) on
+        a persistent worker pool instead of inline (process/distsim
+        backends; the serial backend always runs inline).  On by default —
+        results are byte-identical either way, and batches too small to
+        amortize a fan-out (one partition, or one worker) stay inline
+        automatically.
     seed:
         Base seed for deterministic per-chunk worker RNG seeding.  ``None``
         inherits ``KizzleConfig.seed``.
@@ -67,6 +74,7 @@ class BackendConfig:
     kind: str = "distsim"
     machines: Optional[int] = None
     workers: Optional[int] = None
+    partition_parallel: bool = True
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -86,13 +94,14 @@ class BackendConfig:
             kind=self.kind,
             machines=self.machines if self.machines is not None else machines,
             workers=self.workers if self.workers is not None else workers,
+            partition_parallel=self.partition_parallel,
             seed=self.seed if self.seed is not None else seed)
 
 
 class ExecutionBackend(abc.ABC):
     """Where stage work runs: inline, on a process pool, or simulated.
 
-    The interface has three load-bearing methods:
+    The interface has four load-bearing methods:
 
     * :meth:`run_mapreduce` executes the clustering stage's scatter/map/
       gather/reduce structure and returns a
@@ -103,7 +112,12 @@ class ExecutionBackend(abc.ABC):
       machine pool, recording virtual seconds in the report;
     * :meth:`pair_executor` supplies the
       :class:`~repro.distance.engine.DistanceEngine` with its batch
-      fan-out substrate (``None`` keeps the engine serial).
+      fan-out substrate (``None`` keeps the engine serial);
+    * :meth:`partition_executor` supplies the partition-level map executor
+      (``None`` keeps the map-over-partitions inline); backends whose
+      executor engaged report the finished map through
+      :meth:`run_partition_map`, which charges/records timing without
+      re-executing the work.
     """
 
     #: Short identifier, also the CLI ``--backend`` value.
@@ -126,6 +140,19 @@ class ExecutionBackend(abc.ABC):
     def pair_executor(self):
         """Distance-pair batch executor for the engine (``None`` = serial)."""
         return None
+
+    def partition_executor(self):
+        """Partition-level map executor (``None`` = map runs inline).
+
+        When supplied, the clustering driver ships whole per-partition map
+        tasks (tokenize + DBSCAN + prototypes) to the executor's persistent
+        pool and hands the finished results to :meth:`run_partition_map`.
+        """
+        return None
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent).  Backends without
+        persistent substrate state have nothing to do."""
 
     def engine_config(self, base):
         """The distance-engine configuration this backend runs with.
@@ -161,6 +188,38 @@ class ExecutionBackend(abc.ABC):
         for the simulator backend, per-stage utilization from the real
         scheduled tasks).  Returns the seconds charged.
         """
+
+    def run_partition_map(self, buckets: Sequence[Any],
+                          results: Sequence[Any], pool_seconds: float,
+                          pool_width: int,
+                          reduce_function: Callable[[List[Any]], Any],
+                          item_bytes: Callable[[Any], float]
+                          ) -> MapReduceReport:
+        """Account a partition map that already ran on the partition pool.
+
+        ``results`` carries one finished
+        :class:`~repro.clustering.partition.PartitionMapResult` per bucket,
+        in bucket order.  The map/reduce structure is replayed through
+        :meth:`run_mapreduce` with a map function that simply returns each
+        bucket's precomputed ``(clusters, cost, output_bytes)``: the
+        simulator backend thereby keeps charging the recorded costs as
+        simulated machine time (the paper's timing model is preserved even
+        though the work ran on the real pool), while the reduce executes
+        for real.  ``pool_seconds``/``pool_width`` record the measured wall
+        clock and width of the real pool in the report.
+        """
+        by_bucket = {id(bucket): result
+                     for bucket, result in zip(buckets, results)}
+
+        def precomputed_map(partition_items: Sequence[Any]) -> Any:
+            result = by_bucket[id(partition_items[0])]
+            return result.clusters, result.cost, result.output_bytes
+
+        report = self.run_mapreduce(buckets, precomputed_map,
+                                    reduce_function, item_bytes)
+        report.map_wall_seconds = pool_seconds
+        report.map_workers = pool_width
+        return report
 
 
 class InlineBackend(ExecutionBackend):
@@ -204,6 +263,17 @@ class InlineBackend(ExecutionBackend):
         return report.charge_stage(name, cost,
                                    machine_count=self.charge_units,
                                    spec=self.machine_spec)
+
+    def run_partition_map(self, buckets, results, pool_seconds, pool_width,
+                          reduce_function, item_bytes) -> MapReduceReport:
+        """Inline backends report measured wall clock, so the map time is
+        the real pool's wall clock rather than the near-zero cost of
+        replaying precomputed values."""
+        report = super().run_partition_map(buckets, results, pool_seconds,
+                                           pool_width, reduce_function,
+                                           item_bytes)
+        report.map_time = pool_seconds
+        return report
 
 
 def create_backend(config: BackendConfig) -> ExecutionBackend:

@@ -11,34 +11,56 @@ their makespan includes scheduling overhead and their per-machine
 utilization is observable, instead of being a side-channel arithmetic
 charge.
 
-Distance-pair fan-out still uses the real process pool (the simulator
-models machine *time*, not Python's speed), so a distsim day runs as fast
-as a process-backend day while also reporting the virtual 50-machine
-timeline the paper describes.
+Real execution still uses real cores (the simulator models machine *time*,
+not Python's speed): the partition-level map runs on the same persistent
+:class:`~repro.exec.partition.PartitionPoolExecutor` the process backend
+uses — with the recorded per-partition costs charged as simulated machine
+time through :class:`MapReduceJob` — and the distance-pair fan-out uses the
+per-batch process pool.  A distsim day therefore runs as fast as a
+process-backend day while also reporting the virtual 50-machine timeline
+the paper describes.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.distsim.machine import MachineSpec
 from repro.distsim.mapreduce import MapReduceJob, MapReduceReport, SimCluster
 from repro.distsim.scheduler import Scheduler, Task
 from repro.exec.backend import BackendConfig, ExecutionBackend
+from repro.exec.partition import PartitionPoolExecutor
 from repro.exec.process import ProcessPairExecutor
 
 
 class DistsimBackend(ExecutionBackend):
-    """Execute stages on the simulated machine pool."""
+    """Execute stages on the simulated machine pool.
+
+    An injected ``sim_cluster`` must agree with ``config.machines`` when
+    both are given: the simulated pool size drives ``charge_units`` (what
+    stage costs are spread over), so a silent mismatch would desynchronize
+    the timing model from the configuration.
+    """
 
     name = "distsim"
 
     def __init__(self, config: BackendConfig,
-                 sim_cluster: SimCluster = None) -> None:
+                 sim_cluster: Optional[SimCluster] = None) -> None:
         super().__init__(config)
+        if sim_cluster is not None and config.machines is not None \
+                and sim_cluster.machine_count != config.machines:
+            raise ValueError(
+                f"injected sim_cluster has {sim_cluster.machine_count} "
+                f"machines but the backend config says {config.machines}; "
+                f"pass a matching config (or leave machines unset to adopt "
+                f"the cluster's size)")
         machines = config.machines if config.machines is not None else 50
         self.sim_cluster = sim_cluster or SimCluster(machine_count=machines)
         self._executor = ProcessPairExecutor(seed=config.seed or 0)
+        self._partition_executor = None
+        if config.partition_parallel:
+            self._partition_executor = PartitionPoolExecutor(
+                workers=config.workers or 0, seed=config.seed or 0)
 
     @classmethod
     def from_cluster(cls, sim_cluster: SimCluster,
@@ -59,6 +81,13 @@ class DistsimBackend(ExecutionBackend):
 
     def pair_executor(self):
         return self._executor
+
+    def partition_executor(self):
+        return self._partition_executor
+
+    def close(self) -> None:
+        if self._partition_executor is not None:
+            self._partition_executor.close()
 
     def engine_config(self, base):
         # Keep the configured worker pool (the simulator only models

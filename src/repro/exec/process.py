@@ -53,15 +53,6 @@ def _pool_init(points: List[TokenString], epsilon: float,
     _WORKER_SEED = seed
 
 
-def _pool_profile(index: int) -> PointProfile:
-    profile = _WORKER_PROFILES.get(index)
-    if profile is None:
-        profile = PointProfile(_WORKER_POINTS[index],
-                               _WORKER_CONFIG.qgram_size)
-        _WORKER_PROFILES[index] = profile
-    return profile
-
-
 def chunk_seed(base_seed: int, chunk_index: int) -> int:
     """The deterministic RNG seed of one work chunk.
 
@@ -72,22 +63,36 @@ def chunk_seed(base_seed: int, chunk_index: int) -> int:
     return (base_seed * 1_000_003 + chunk_index) & 0x7FFFFFFF
 
 
-def _pool_decide_chunk(indexed_chunk: Tuple[int, Sequence[Tuple[int, int]]]
-                       ) -> Tuple[List[PairDecision], Dict[str, int]]:
-    """Decide one indexed chunk of candidate pairs inside a pool worker.
+def _profile_for(points: Sequence[TokenString],
+                 profiles: Dict[int, PointProfile], index: int,
+                 config: DistanceEngineConfig) -> PointProfile:
+    profile = profiles.get(index)
+    if profile is None:
+        profile = PointProfile(points[index], config.qgram_size)
+        profiles[index] = profile
+    return profile
 
-    Returns the per-pair decisions plus the worker-side stats; exact
-    distances flow back so the parent can seed its cache, and the stats
-    merge into the parent's accounting.
+
+def decide_chunk(points: Sequence[TokenString],
+                 profiles: Dict[int, PointProfile],
+                 indexed_chunk: Tuple[int, Sequence[Tuple[int, int]]],
+                 epsilon: float, config: DistanceEngineConfig,
+                 seed: int) -> Tuple[List[PairDecision], Dict[str, int]]:
+    """Decide one indexed chunk of candidate pairs against explicit state.
+
+    Shared by the pool worker (whose state lives in the ``_WORKER_*``
+    globals set by :func:`_pool_init`) and the serial executor (whose state
+    is local to one ``decide_chunks`` call).  Returns the per-pair decisions
+    plus the chunk's stats; exact distances flow back so the caller can seed
+    its cache, and the stats merge into the caller's accounting.
     """
     chunk_index, chunk = indexed_chunk
-    random.seed(chunk_seed(_WORKER_SEED, chunk_index))
-    config = _WORKER_CONFIG
-    epsilon = _WORKER_EPSILON
+    random.seed(chunk_seed(seed, chunk_index))
     stats = EngineStats()
     out: List[PairDecision] = []
     for i, j in chunk:
-        profile_a, profile_b = _pool_profile(i), _pool_profile(j)
+        profile_a = _profile_for(points, profiles, i, config)
+        profile_b = _profile_for(points, profiles, j, config)
         threshold = int(epsilon * max(profile_a.length, profile_b.length))
         verdict, distance = decide_profiles(profile_a, profile_b, threshold,
                                             config, None, stats)
@@ -97,11 +102,25 @@ def _pool_decide_chunk(indexed_chunk: Tuple[int, Sequence[Tuple[int, int]]]
     return out, stats.as_dict()
 
 
+def _pool_decide_chunk(indexed_chunk: Tuple[int, Sequence[Tuple[int, int]]]
+                       ) -> Tuple[List[PairDecision], Dict[str, int]]:
+    """Decide one indexed chunk inside a pool worker (global state)."""
+    return decide_chunk(_WORKER_POINTS, _WORKER_PROFILES, indexed_chunk,
+                        _WORKER_EPSILON, _WORKER_CONFIG, _WORKER_SEED)
+
+
 # ----------------------------------------------------------------------
 # pair executors
 # ----------------------------------------------------------------------
 class SerialPairExecutor:
-    """Decide chunks inline — the executor a forkless environment gets."""
+    """Decide chunks inline — the executor a forkless environment gets.
+
+    State (points, profiles, config) is local to each ``decide_chunks``
+    call, never the ``_WORKER_*`` module globals: the generator is lazy, so
+    two engines interleaving their chunk iteration in one process must not
+    clobber each other's points mid-batch (the globals are reserved for
+    real pool workers, where each process serves exactly one batch).
+    """
 
     name = "serial"
 
@@ -112,9 +131,10 @@ class SerialPairExecutor:
                       chunks: Sequence[Sequence[Tuple[int, int]]],
                       epsilon: float, config: DistanceEngineConfig
                       ) -> Iterable[Tuple[List[PairDecision], Dict[str, int]]]:
-        _pool_init(points, epsilon, config, self.seed)
+        profiles: Dict[int, PointProfile] = {}
         for indexed in enumerate(chunks):
-            yield _pool_decide_chunk(indexed)
+            yield decide_chunk(points, profiles, indexed, epsilon, config,
+                               self.seed)
 
 
 class ProcessPairExecutor:
@@ -157,11 +177,13 @@ class ProcessPairExecutor:
 class ProcessBackend(InlineBackend):
     """Real process-pool parallelism, no simulation.
 
-    The coarse stage structure (map over partitions, reduce) runs inline —
-    partitions share the engine's memo cache, which is where the actual
-    speedup lives — while the distance-pair workload inside each partition
-    fans out over the pool via :class:`ProcessPairExecutor`.  Report times
-    are measured wall clock, as with the serial backend.
+    The partition-level map (tokenize + DBSCAN per partition) fans out over
+    a persistent :class:`~repro.exec.partition.PartitionPoolExecutor` —
+    whole partitions ship to child processes and per-partition clusters
+    ship back — while batches too small to partition keep the historical
+    inline map, whose distance-pair workload fans out over a per-batch pool
+    via :class:`ProcessPairExecutor`.  Report times are measured wall
+    clock, as with the serial backend.
     """
 
     name = "process"
@@ -169,6 +191,11 @@ class ProcessBackend(InlineBackend):
     def __init__(self, config: BackendConfig) -> None:
         super().__init__(config)
         self._executor = ProcessPairExecutor(seed=config.seed or 0)
+        self._partition_executor = None
+        if config.partition_parallel:
+            from repro.exec.partition import PartitionPoolExecutor
+            self._partition_executor = PartitionPoolExecutor(
+                workers=config.workers or 0, seed=config.seed or 0)
 
     # -- substrate ------------------------------------------------------
     @property
@@ -180,6 +207,13 @@ class ProcessBackend(InlineBackend):
 
     def pair_executor(self):
         return self._executor
+
+    def partition_executor(self):
+        return self._partition_executor
+
+    def close(self) -> None:
+        if self._partition_executor is not None:
+            self._partition_executor.close()
 
     def engine_config(self, base):
         updates: Dict[str, Any] = {}

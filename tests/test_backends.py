@@ -109,6 +109,70 @@ class TestBackendConfig:
         assert "shed" not in report.stage_utilization
         assert backend.simulate_stage(report, "shed", 1e6) > 0.0
 
+    def test_negative_cost_stage_charges_nothing(self):
+        """A (buggy or rounded-below-zero) negative cost takes the same
+        short-circuit as zero: no virtual seconds, no utilization entry."""
+        from repro.distsim.mapreduce import MapReduceReport
+
+        backend = create_backend(BackendConfig(kind="distsim", machines=4))
+        report = MapReduceReport(machine_count=4, partitions=1,
+                                 scatter_time=0.0, map_time=0.0,
+                                 gather_time=0.0, reduce_time=0.0)
+        assert backend.simulate_stage(report, "shed", -5.0) == 0.0
+        assert report.stage_seconds["shed"] == 0.0
+        assert "shed" not in report.stage_utilization
+
+    def test_stage_seconds_accumulate_and_utilization_averages(self):
+        """Repeated charges to one stage accumulate virtual seconds, and
+        the recorded utilization is the machine pool's mean (a perfectly
+        parallel stage keeps every machine busy most of the makespan)."""
+        from repro.distsim.mapreduce import MapReduceReport
+        from repro.distsim.scheduler import Scheduler, Task
+
+        backend = create_backend(BackendConfig(kind="distsim", machines=3))
+        report = MapReduceReport(machine_count=3, partitions=1,
+                                 scatter_time=0.0, map_time=0.0,
+                                 gather_time=0.0, reduce_time=0.0)
+        first = backend.simulate_stage(report, "shed", 3e6)
+        second = backend.simulate_stage(report, "shed", 3e6)
+        assert first > 0.0 and second > 0.0
+        assert report.stage_seconds["shed"] == pytest.approx(first + second)
+        # The recorded value matches an identical schedule's mean
+        # utilization exactly (equal shares, same machine count).
+        scheduler = Scheduler(3, spec=backend.machine_spec)
+        scheduler.run_tasks([
+            Task(name=f"shed-{i}", callable=lambda: None, cost=1e6)
+            for i in range(3)])
+        utilization = scheduler.utilization()
+        expected = sum(utilization.values()) / len(utilization)
+        assert report.stage_utilization["shed"] == pytest.approx(expected)
+        assert 0.0 < report.stage_utilization["shed"] <= 1.0
+
+    def test_distsim_rejects_mismatched_injected_cluster(self):
+        """An injected simulated cluster whose size disagrees with the
+        config must be rejected, not silently adopted (charge_units would
+        desynchronize from the configured machine count)."""
+        from repro.distsim.mapreduce import SimCluster
+
+        with pytest.raises(ValueError, match="machines"):
+            DistsimBackend(BackendConfig(kind="distsim", machines=10),
+                           sim_cluster=SimCluster(machine_count=4))
+
+    def test_distsim_accepts_matching_or_unset_machines(self):
+        from repro.distsim.mapreduce import SimCluster
+
+        cluster = SimCluster(machine_count=4)
+        matching = DistsimBackend(
+            BackendConfig(kind="distsim", machines=4), sim_cluster=cluster)
+        assert matching.sim_cluster is cluster
+        # machines unset: the backend adopts the injected cluster's size.
+        adopted = DistsimBackend(BackendConfig(kind="distsim"),
+                                 sim_cluster=cluster)
+        assert adopted.charge_units == 4
+        legacy = DistsimBackend.from_cluster(cluster, seed=3)
+        assert legacy.sim_cluster is cluster
+        assert legacy.config.machines == 4
+
 
 # ----------------------------------------------------------------------
 # deterministic worker seeding
@@ -137,6 +201,94 @@ class TestChunkSeeding:
                       points, chunks, 0.2, config)
                   for decision in result]
         assert serial == pooled
+
+
+class TestPairExecutorReentrancy:
+    """The serial pair executor is a lazy generator; two engines whose chunk
+    iteration interleaves in one process must not clobber each other's
+    points/config (the bug: the serial path parked its state in the
+    ``_WORKER_*`` module globals that belong to pool workers)."""
+
+    def _batch(self, text_points, chunk_size=1):
+        points = [tuple(point) for point in text_points]
+        pairs = [(i, j) for i in range(len(points))
+                 for j in range(i + 1, len(points))]
+        chunks = [pairs[start:start + chunk_size]
+                  for start in range(0, len(pairs), chunk_size)]
+        return points, chunks
+
+    def test_interleaved_serial_executors_do_not_clobber(self):
+        config_a = DistanceEngineConfig(shared_cache=False, cache_size=0)
+        # Different qgram size: a clobbered config is visible even when the
+        # points happen to agree.
+        config_b = DistanceEngineConfig(shared_cache=False, cache_size=0,
+                                        qgram_size=2)
+        points_a, chunks_a = self._batch(
+            ["aaaaaaaaaa", "aaaaaaaaab", "zzzzzzzzzz", "aaaaabaaab"])
+        points_b, chunks_b = self._batch(
+            ["qqqqqqqqqq", "qqqqqqqqqr", "mmmmmmmmmm", "qqqqqrqqqr"])
+
+        def collect(generator):
+            return [decision for result, _ in generator
+                    for decision in result]
+
+        expected_a = collect(SerialPairExecutor(seed=1).decide_chunks(
+            points_a, chunks_a, 0.2, config_a))
+        expected_b = collect(SerialPairExecutor(seed=2).decide_chunks(
+            points_b, chunks_b, 0.2, config_b))
+
+        gen_a = SerialPairExecutor(seed=1).decide_chunks(
+            points_a, chunks_a, 0.2, config_a)
+        gen_b = SerialPairExecutor(seed=2).decide_chunks(
+            points_b, chunks_b, 0.2, config_b)
+        interleaved_a, interleaved_b = [], []
+        for (result_a, _), (result_b, _) in zip(gen_a, gen_b):
+            interleaved_a.extend(result_a)
+            interleaved_b.extend(result_b)
+        assert interleaved_a == expected_a
+        assert interleaved_b == expected_b
+
+
+class TestProcessPairExecutorFallback:
+    """``workers <= 1`` or a single chunk must take the serial path and
+    produce decisions *and stats* identical to the pooled path."""
+
+    def _decide(self, executor_cls, config, points, chunks, seed=7):
+        decisions, stats = [], []
+        for chunk_result, chunk_stats in executor_cls(seed=seed).decide_chunks(
+                points, chunks, 0.2, config):
+            decisions.extend(chunk_result)
+            stats.append(chunk_stats)
+        return decisions, stats
+
+    def _fixture(self):
+        points = [tuple("aaaaaaaaaa"), tuple("aaaaaaaaab"),
+                  tuple("zzzzzzzzzz"), tuple("aaaaabaaab"),
+                  tuple("qqqqqqqqqq"), tuple("qqqqqqqqqr")]
+        pairs = [(i, j) for i in range(len(points))
+                 for j in range(i + 1, len(points))]
+        chunks = [pairs[start:start + 3] for start in range(0, len(pairs), 3)]
+        return points, chunks
+
+    def test_single_worker_falls_back_to_serial_path(self):
+        points, chunks = self._fixture()
+        single = DistanceEngineConfig(shared_cache=False, cache_size=0,
+                                      workers=1)
+        pooled = DistanceEngineConfig(shared_cache=False, cache_size=0,
+                                      workers=2)
+        fallback = self._decide(ProcessPairExecutor, single, points, chunks)
+        reference = self._decide(ProcessPairExecutor, pooled, points, chunks)
+        assert fallback == reference
+
+    def test_single_chunk_falls_back_to_serial_path(self):
+        points, chunks = self._fixture()
+        one_chunk = [[pair for chunk in chunks for pair in chunk]]
+        config = DistanceEngineConfig(shared_cache=False, cache_size=0,
+                                      workers=4)
+        fallback = self._decide(ProcessPairExecutor, config, points,
+                                one_chunk)
+        serial = self._decide(SerialPairExecutor, config, points, one_chunk)
+        assert fallback == serial
 
 
 # ----------------------------------------------------------------------

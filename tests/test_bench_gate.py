@@ -91,6 +91,78 @@ class TestPerStageSeries:
         assert check_regression.main([str(tmp_path)]) == 0
 
 
+class TestArtifactSelection:
+    """Naming and recency of BENCH artifacts (the same-day baseline-loss
+    bugfix): a rerun must get a fresh monotonic run suffix, and selection
+    must order runs numerically, never lexicographically."""
+
+    def _touch(self, root, name):
+        (root / name).write_text("{}", encoding="utf-8")
+
+    def test_key_parses_suffixless_as_run_one(self):
+        key = check_regression.artifact_key(
+            pathlib.Path("BENCH_2026-01-01.json"))
+        assert key == ("2026-01-01", 1)
+
+    def test_key_parses_run_suffix(self):
+        key = check_regression.artifact_key(
+            pathlib.Path("BENCH_2026-01-01_7.json"))
+        assert key == ("2026-01-01", 7)
+
+    def test_run_ten_is_newer_than_run_nine(self):
+        nine = check_regression.artifact_key(
+            pathlib.Path("BENCH_2026-01-01_9.json"))
+        ten = check_regression.artifact_key(
+            pathlib.Path("BENCH_2026-01-01_10.json"))
+        assert nine < ten  # lexicographic name order would say otherwise
+
+    def test_select_orders_across_dates_and_runs(self, tmp_path):
+        names = ["BENCH_2026-01-02.json", "BENCH_2026-01-01_2.json",
+                 "BENCH_2026-01-01.json", "BENCH_2026-01-02_10.json",
+                 "BENCH_2026-01-02_9.json"]
+        for name in names:
+            self._touch(tmp_path, name)
+        ordered = [p.name for p in check_regression.select_artifacts(tmp_path)]
+        assert ordered == ["BENCH_2026-01-01.json", "BENCH_2026-01-01_2.json",
+                           "BENCH_2026-01-02.json", "BENCH_2026-01-02_9.json",
+                           "BENCH_2026-01-02_10.json"]
+
+    def test_first_run_of_a_day_is_suffixless(self, tmp_path):
+        assert check_regression.next_artifact_name(tmp_path, "2026-01-01") \
+            == "BENCH_2026-01-01.json"
+
+    def test_rerun_gets_monotonic_suffix_and_never_overwrites(self, tmp_path):
+        self._touch(tmp_path, "BENCH_2026-01-01.json")
+        assert check_regression.next_artifact_name(tmp_path, "2026-01-01") \
+            == "BENCH_2026-01-01_2.json"
+        self._touch(tmp_path, "BENCH_2026-01-01_2.json")
+        assert check_regression.next_artifact_name(tmp_path, "2026-01-01") \
+            == "BENCH_2026-01-01_3.json"
+        # Other days don't perturb the numbering.
+        self._touch(tmp_path, "BENCH_2026-01-02.json")
+        assert check_regression.next_artifact_name(tmp_path, "2026-01-01") \
+            == "BENCH_2026-01-01_3.json"
+
+    def test_prune_keeps_newest(self, tmp_path):
+        for name in ["BENCH_2026-01-01.json", "BENCH_2026-01-01_2.json",
+                     "BENCH_2026-01-02.json", "BENCH_2026-01-03.json"]:
+            self._touch(tmp_path, name)
+        deleted = check_regression.prune_history(tmp_path, keep=2)
+        assert [p.name for p in deleted] == ["BENCH_2026-01-01.json",
+                                             "BENCH_2026-01-01_2.json"]
+        remaining = sorted(p.name for p in tmp_path.glob("BENCH_*.json"))
+        assert remaining == ["BENCH_2026-01-02.json", "BENCH_2026-01-03.json"]
+
+    def test_prune_noop_within_bound(self, tmp_path):
+        self._touch(tmp_path, "BENCH_2026-01-01.json")
+        assert check_regression.prune_history(tmp_path, keep=5) == []
+        assert (tmp_path / "BENCH_2026-01-01.json").exists()
+
+    def test_prune_rejects_nonpositive_keep(self, tmp_path):
+        with pytest.raises(ValueError):
+            check_regression.prune_history(tmp_path, keep=0)
+
+
 class TestMain:
     def _write_artifact(self, root, name, benchmarks):
         payload = {"date": name, "benchmarks": [
@@ -123,3 +195,19 @@ class TestMain:
         assert check_regression.main([str(tmp_path)]) == 0
         assert check_regression.main(
             [str(tmp_path), "--threshold", "0.1"]) == 1
+
+    def test_same_day_rerun_gates_against_first_run(self, tmp_path):
+        """The PR 3 failure mode: a same-day rerun must compare against the
+        day's earlier artifact (run suffix), not overwrite it and
+        auto-pass."""
+        self._write_artifact(tmp_path, "2026-01-01", {"a": 1.0})
+        self._write_artifact(tmp_path, "2026-01-01_2", {"a": 2.0})
+        assert check_regression.main([str(tmp_path)]) == 1
+
+    def test_double_digit_rerun_compares_newest_two(self, tmp_path):
+        """Run 10 vs run 9, not the lexicographic order (10 < 9)."""
+        self._write_artifact(tmp_path, "2026-01-01_9", {"a": 5.0})
+        self._write_artifact(tmp_path, "2026-01-01_10", {"a": 1.0})
+        assert check_regression.main([str(tmp_path)]) == 0
+        self._write_artifact(tmp_path, "2026-01-01_11", {"a": 3.0})
+        assert check_regression.main([str(tmp_path)]) == 1

@@ -1,0 +1,311 @@
+"""Tests for partition-parallel map execution (repro.exec.partition).
+
+The load-bearing property mirrors the backend contract: moving the whole
+per-partition map (tokenize + DBSCAN + prototypes) into a persistent worker
+pool changes *where* the map runs, never *what* comes out.  Labels,
+signatures and per-day FP/FN must be byte-identical to inline execution for
+any worker count, warm and cold; the engine's accounting must aggregate the
+workers' stats; and the real pool must demonstrably engage (otherwise the
+equivalence tests prove nothing).
+"""
+
+from __future__ import annotations
+
+import datetime
+import pickle
+
+import pytest
+
+from repro.clustering.partition import ClusteredSample, DistributedClusterer, \
+    PartitionMapTask, partition_samples
+from repro.core.config import IncrementalConfig, KizzleConfig
+from repro.core.pipeline import Kizzle
+from repro.distance.engine import DistanceEngine, DistanceEngineConfig
+from repro.ekgen import StreamConfig, TelemetryGenerator
+from repro.exec.backend import BackendConfig, create_backend
+from repro.exec.partition import PartitionPoolExecutor
+
+D = datetime.date
+KITS = ("nuclear", "angler", "rig", "sweetorange")
+
+#: Pinned partition count: small seeded days would otherwise collapse to a
+#: single partition and the pool would (correctly) never engage.
+PARTITIONS = 4
+
+
+def _generator():
+    return TelemetryGenerator(StreamConfig(
+        benign_per_day=8,
+        kit_daily_counts={"angler": 6, "nuclear": 4, "sweetorange": 4,
+                          "rig": 3},
+        seed=20140801))
+
+
+def _run_stream(backend_kind, incremental, workers,
+                partition_parallel=True, days=2):
+    """Process seeded days; returns (labels, fp/fn, signatures, last result,
+    kizzle)."""
+    generator = _generator()
+    config = KizzleConfig(
+        machines=6, min_points=3, partitions=PARTITIONS,
+        distance=DistanceEngineConfig(workers=workers, shared_cache=False),
+        incremental=IncrementalConfig(enabled=incremental),
+        backend=BackendConfig(kind=backend_kind, workers=workers,
+                              partition_parallel=partition_parallel))
+    kizzle = Kizzle(config)
+    # The warm path hands the cluster stage pre-tokenized (cached) samples,
+    # which tiny test days would keep inline under the worth-it heuristic;
+    # drop the floor so the pool demonstrably engages warm as well as cold.
+    kizzle.clusterer.pooled_partition_min = 1
+    for kit in KITS:
+        kizzle.seed_known_kit(
+            kit, [generator.reference_core(kit, D(2014, 7, 31))])
+    day_labels, day_fpfn, result = [], [], None
+    for offset in range(days):
+        date = D(2014, 8, 1) + datetime.timedelta(days=offset)
+        batch = generator.generate_day(date)
+        result = kizzle.process_day(
+            [(s.sample_id, s.content) for s in batch.samples], date)
+        day_labels.append(sorted(
+            (tuple(sorted(sample.sample_id
+                          for sample in report.cluster.samples)),
+             report.kit)
+            for report in result.clusters))
+        day_fpfn.append((
+            sum(1 for sample in batch.benign
+                if kizzle.detects(sample.content, as_of=date)),
+            sum(1 for sample in batch.malicious
+                if not kizzle.detects(sample.content, as_of=date))))
+    signatures = [(s.kit, s.created, s.pattern) for s in kizzle.database]
+    kizzle.close()
+    return day_labels, day_fpfn, signatures, result, kizzle
+
+
+# ----------------------------------------------------------------------
+# byte-identity to inline execution
+# ----------------------------------------------------------------------
+class TestPartitionParallelEquivalence:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("incremental", [False, True],
+                             ids=["cold", "warm"])
+    def test_identical_to_serial_for_any_worker_count(self, incremental):
+        reference = _run_stream("serial", incremental, workers=1)[:3]
+        for kind in ("process", "distsim"):
+            for workers in (2, 3):
+                labels, fpfn, signatures, result, _ = _run_stream(
+                    kind, incremental, workers=workers)
+                assert result.timing.map_workers == workers, \
+                    f"{kind} workers={workers}: partition pool not engaged"
+                assert labels == reference[0], \
+                    f"{kind} workers={workers}: cluster labels diverged"
+                assert fpfn == reference[1], \
+                    f"{kind} workers={workers}: FP/FN diverged"
+                assert signatures == reference[2], \
+                    f"{kind} workers={workers}: signatures diverged"
+
+    @pytest.mark.slow
+    def test_disabled_knob_runs_inline_and_matches(self):
+        enabled = _run_stream("process", False, workers=2)
+        disabled = _run_stream("process", False, workers=2,
+                               partition_parallel=False)
+        assert disabled[3].timing.map_workers == 1
+        assert disabled[3].timing.map_wall_seconds == 0.0
+        assert enabled[:3] == disabled[:3]
+
+    def test_pool_actually_engaged_and_attributed(self):
+        """Engagement must be observable: the executor counts a pooled
+        batch, the report carries the pool width, and the cluster stage
+        attributes the pool's wall clock as the ``cluster.map`` sub-wall."""
+        _, _, _, result, kizzle = _run_stream("process", False, workers=2,
+                                              days=1)
+        executor = kizzle.backend.partition_executor()
+        assert executor.pooled_batches > 0
+        assert result.timing.map_workers == 2
+        assert result.timing.partitions == PARTITIONS
+        assert "cluster.map" in result.stage_walls
+        assert result.stage_walls["cluster.map"] \
+            == pytest.approx(result.timing.map_wall_seconds)
+        summary = result.timing.summary()
+        assert summary["map_workers"] == 2.0
+        assert summary["map_wall_s"] >= 0.0
+
+    def test_distsim_keeps_charging_simulated_machine_time(self):
+        """The simulator must keep charging the recorded per-partition
+        costs as virtual machine time even though the map ran on the real
+        pool — same virtual timeline as inline execution."""
+        inline = _run_stream("distsim", False, workers=2,
+                             partition_parallel=False, days=1)[3]
+        pooled = _run_stream("distsim", False, workers=2, days=1)[3]
+        assert pooled.timing.map_workers == 2
+        assert pooled.timing.map_time > 0.0
+        assert pooled.timing.map_time \
+            == pytest.approx(inline.timing.map_time, rel=1e-6)
+        assert pooled.timing.reduce_time \
+            == pytest.approx(inline.timing.reduce_time, rel=1e-6)
+
+    def test_engine_stats_aggregate_worker_pairs(self):
+        """Pairs decided inside partition workers must show up in the
+        parent engine's accounting (per-partition stats aggregation)."""
+        inline = _run_stream("process", False, workers=2,
+                             partition_parallel=False, days=1)[3]
+        pooled = _run_stream("process", False, workers=2, days=1)[3]
+        assert pooled.timing.distance_stats["pairs"] \
+            == inline.timing.distance_stats["pairs"]
+        assert pooled.timing.distance_stats["pairs"] > 0
+
+    def test_serial_backend_has_no_partition_executor(self):
+        backend = create_backend(
+            BackendConfig(kind="serial", partition_parallel=True))
+        assert backend.partition_executor() is None
+        backend.close()  # must be a harmless no-op
+
+
+# ----------------------------------------------------------------------
+# the executor itself
+# ----------------------------------------------------------------------
+def _make_tasks(count=3, per_partition=6):
+    generator = _generator()
+    batch = generator.generate_day(D(2014, 8, 1))
+    samples = [ClusteredSample.from_content(s.sample_id, s.content)
+               for s in batch.samples]
+    buckets = partition_samples(samples, count, seed=0)
+    return [PartitionMapTask(index=index, samples=bucket, epsilon=0.10,
+                             min_points=3,
+                             engine_config=DistanceEngineConfig(
+                                 shared_cache=False),
+                             seed=5)
+            for index, bucket in enumerate(buckets)]
+
+
+def _comparable(results):
+    return [(r.index, r.comparisons, r.cost, r.output_bytes,
+             [(c.cluster_id, sorted(s.sample_id for s in c.samples))
+              for c in r.clusters])
+            for r in results]
+
+
+class TestPartitionPoolExecutor:
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            PartitionPoolExecutor(workers=-1)
+
+    def test_should_engage_needs_partitions_and_workers(self):
+        pooled = PartitionPoolExecutor(workers=2)
+        assert pooled.should_engage(2)
+        assert not pooled.should_engage(1)
+        assert not PartitionPoolExecutor(workers=1).should_engage(8)
+
+    def test_single_partition_batch_runs_inline(self):
+        executor = PartitionPoolExecutor(workers=2)
+        results, seconds = executor.run(_make_tasks(count=1))
+        assert executor.inline_batches == 1
+        assert executor.pooled_batches == 0
+        assert executor._pool is None  # never forked
+        assert len(results) == 1 and seconds >= 0.0
+        executor.close()
+
+    def test_pooled_results_identical_to_inline_fallback(self):
+        tasks = _make_tasks(count=3)
+        inline_exec = PartitionPoolExecutor(workers=1)
+        inline, _ = inline_exec.run(tasks)
+        pooled_exec = PartitionPoolExecutor(workers=2)
+        pooled, _ = pooled_exec.run(tasks)
+        assert pooled_exec.pooled_batches == 1
+        assert _comparable(pooled) == _comparable(inline)
+        assert [r.stats for r in pooled] == [r.stats for r in inline]
+        assert [r.cache_entries for r in pooled] \
+            == [r.cache_entries for r in inline]
+        pooled_exec.close()
+        pooled_exec.close()  # idempotent
+        # A closed executor recovers: the pool is re-created on demand.
+        again, _ = pooled_exec.run(tasks)
+        assert _comparable(again) == _comparable(inline)
+        pooled_exec.close()
+        inline_exec.close()
+
+    def test_tasks_are_picklable(self):
+        task = _make_tasks(count=2)[0]
+        clone = pickle.loads(pickle.dumps(task))
+        assert _comparable([clone.run()]) == _comparable([task.run()])
+
+
+class TestPartitionMapTask:
+    def test_worker_engine_never_forks_and_keeps_cache_private(self):
+        task = _make_tasks(count=2)[0]
+        engine = task.worker_engine()
+        assert engine.config.workers == 1
+        assert engine.config.shared_cache is False
+
+    def test_run_is_deterministic(self):
+        task = _make_tasks(count=2)[0]
+        assert _comparable([task.run()]) == _comparable([task.run()])
+
+    def test_absorb_remote_merges_stats_and_cache(self):
+        task = _make_tasks(count=2)[0]
+        result = task.run()
+        assert result.stats["pairs"] > 0
+        parent = DistanceEngine(DistanceEngineConfig(shared_cache=False))
+        parent.absorb_remote(result.stats, result.cache_entries)
+        assert parent.stats.pairs == result.stats["pairs"]
+        assert parent.stats.kernel_calls == result.stats["kernel_calls"]
+        for a, b, distance in result.cache_entries:
+            assert parent.cache.get(a, b) == distance
+
+
+class TestWorthFanningOut:
+    """Pre-tokenized small buckets stay inline (shipping them costs more
+    than their DBSCAN); raw buckets always fan out (the map carries the
+    lexer)."""
+
+    def _clusterer(self):
+        backend = create_backend(BackendConfig(kind="serial"))
+        return DistributedClusterer(backend=backend, machines=4)
+
+    def test_raw_buckets_always_fan_out(self):
+        clusterer = self._clusterer()
+        raw = [[ClusteredSample(sample_id="a", content="var a = 1;")]] * 2
+        assert clusterer._worth_fanning_out(raw)
+
+    def test_small_tokenized_buckets_stay_inline(self):
+        clusterer = self._clusterer()
+        tokenized = [[ClusteredSample.from_content("a", "var a = 1;")]] * 2
+        assert not clusterer._worth_fanning_out(tokenized)
+
+    def test_large_tokenized_buckets_fan_out(self):
+        clusterer = self._clusterer()
+        clusterer.pooled_partition_min = 3
+        sample = ClusteredSample.from_content("a", "var a = 1;")
+        assert clusterer._worth_fanning_out([[sample] * 3, [sample]])
+
+
+# ----------------------------------------------------------------------
+# configuration plumbing
+# ----------------------------------------------------------------------
+class TestKnobPlumbing:
+    def test_backend_config_resolved_preserves_flag(self):
+        config = BackendConfig(kind="process", partition_parallel=False)
+        assert config.resolved(machines=4, workers=2,
+                               seed=1).partition_parallel is False
+
+    def test_cli_flag_reaches_backend_config(self):
+        from repro.cli import _backend_config, build_parser
+
+        parser = build_parser()
+        on = parser.parse_args(["process-day"])
+        assert _backend_config(on).partition_parallel is True
+        off = parser.parse_args(["--no-partition-parallel", "process-day"])
+        assert _backend_config(off).partition_parallel is False
+
+    def test_backends_expose_executor_when_enabled(self):
+        for kind in ("process", "distsim"):
+            enabled = create_backend(
+                BackendConfig(kind=kind, workers=3, seed=9))
+            executor = enabled.partition_executor()
+            assert isinstance(executor, PartitionPoolExecutor)
+            assert executor.pool_width() == 3
+            assert executor.seed == 9
+            enabled.close()
+            disabled = create_backend(
+                BackendConfig(kind=kind, partition_parallel=False))
+            assert disabled.partition_executor() is None
+            disabled.close()

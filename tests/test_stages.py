@@ -90,6 +90,26 @@ class TestStageGraphMechanics:
         assert all(seconds >= 0.0 for seconds in walls.values())
         assert graph.last_walls == walls
 
+    def test_context_stage_sub_walls_recorded_dotted(self):
+        """A context stage returning ``{sub: seconds}`` gets dotted wall
+        entries alongside its own measured wall (how the cluster stage
+        attributes the partition pool's time inside its total)."""
+        graph = StageGraph([
+            Stage("setup", lambda ctx: ctx.update(items=[1]),
+                  provides=("items",)),
+            Stage("cluster", lambda ctx: {"map": 1.25, "reduce": 0.5}),
+        ])
+        walls = graph.run({})
+        assert walls["cluster.map"] == 1.25
+        assert walls["cluster.reduce"] == 0.5
+        assert walls["cluster"] >= 0.0
+        assert graph.last_walls == walls
+
+    def test_non_mapping_stage_return_is_ignored(self):
+        graph = StageGraph([Stage("quirky", lambda ctx: 42)])
+        walls = graph.run({})
+        assert set(walls) == {"quirky"}
+
     def test_describe_lists_dataflow(self):
         graph = StageGraph([
             Stage("produce", lambda ctx: None, requires=("samples",),
