@@ -20,6 +20,14 @@ by :func:`artifact_key` — ``(date, run)`` with the run parsed numerically —
 never by raw filename order (lexicographically ``_10`` would sort before
 ``_9``).  :func:`prune_history` bounds the retained history.
 
+Artifacts live in a managed ``bench_history/`` directory
+(:func:`history_root`), not loose at the repo root — local runs no longer
+litter the tree, and the bounded pruning manages one dedicated directory.
+``main`` still accepts a directory holding ``BENCH_*.json`` files directly
+(CI stages its retained nightly history that way); given a repo root, it
+automatically descends into ``bench_history/`` when that is where the
+artifacts are.
+
 Per-stage walls are gated too: a benchmark whose ``extra_info`` carries
 ``wall_<stage>_s`` entries (the paper-scale day and month runs serialize
 the pipeline's stage-graph timings) contributes one additional named series
@@ -43,8 +51,16 @@ from typing import Dict, List, Tuple
 #: Means below this are treated as noise and never gated.
 MIN_GATED_SECONDS = 0.05
 
+#: ``*_count`` series with a baseline below this are never gated: a
+#: timing-dependent counter fluttering 1 -> 2 is noise, while a genuine
+#: behavioural regression shows up as growth on a meaningful base.
+MIN_GATED_COUNT = 5.0
+
 #: Artifacts kept when the history is pruned (see :func:`prune_history`).
 DEFAULT_HISTORY = 10
+
+#: Directory (under the repo root) where benchmark artifacts are kept.
+HISTORY_DIRNAME = "bench_history"
 
 #: ``BENCH_<date>.json`` or ``BENCH_<date>_<n>.json``.
 _ARTIFACT_RE = re.compile(r"^BENCH_(?P<date>.+?)(?:_(?P<run>\d+))?\.json$")
@@ -71,6 +87,34 @@ def select_artifacts(root: pathlib.Path) -> List[pathlib.Path]:
     """Every ``BENCH_*.json`` under ``root``, oldest first by
     :func:`artifact_key`."""
     return sorted(root.glob("BENCH_*.json"), key=artifact_key)
+
+
+def history_root(root: pathlib.Path, create: bool = False) -> pathlib.Path:
+    """The managed artifact directory for a repo root.
+
+    Artifacts written by the benchmark conftest land here (not loose at
+    the repo root); ``create=True`` makes the directory on first use.
+    """
+    history = root / HISTORY_DIRNAME
+    if create:
+        history.mkdir(parents=True, exist_ok=True)
+    return history
+
+
+def resolve_artifact_dir(root: pathlib.Path) -> pathlib.Path:
+    """Where ``main`` should look for artifacts under ``root``.
+
+    A directory that holds ``BENCH_*.json`` files directly (CI's staged
+    history) is used as-is; otherwise the managed ``bench_history/``
+    subdirectory is preferred when it exists, falling back to ``root``
+    (pre-migration layouts keep working).
+    """
+    if select_artifacts(root):
+        return root
+    history = root / HISTORY_DIRNAME
+    if history.is_dir():
+        return history
+    return root
 
 
 def next_artifact_name(root: pathlib.Path, date: str) -> str:
@@ -103,20 +147,37 @@ def prune_history(root: pathlib.Path,
 def load_benchmarks(path: pathlib.Path) -> Dict[str, float]:
     """Map benchmark name -> mean seconds from one artifact.
 
-    Besides the end-to-end mean of every benchmark, each numeric
-    ``wall_<stage>_s`` entry in a benchmark's ``extra_info`` becomes its own
-    named series (``name[stage]``), so per-stage regressions gate alongside
-    the totals.
+    Besides the end-to-end mean of every benchmark, selected numeric
+    ``extra_info`` entries become their own named series so regressions
+    confined to one component gate alongside the totals:
+
+    * ``wall_<stage>_s`` — pipeline stage walls, series ``name[stage]``;
+    * ``*_wall_s`` — component wall clocks (e.g. ``cluster_map_wall_s``),
+      series ``name[key]``;
+    * ``*_count`` — behavioural counters (e.g. ``cluster_redispatch_count``
+      — more re-dispatches means workers are being declared dead more
+      often), series ``name[key]``.  Counters share the growth gate but
+      use :data:`MIN_GATED_COUNT` as their noise floor, so single-digit
+      flutter (1 -> 2 on a loaded runner) never fails a night.
+
+    The suffixes are therefore a contract for benchmark authors: name an
+    extra-info key ``*_wall_s``/``*_count`` only when its growth should
+    fail the gate (environmental facts use other spellings, e.g.
+    ``cpu_cores``; deliberately volatile walls use ``*_seconds``).
     """
     payload = json.loads(path.read_text(encoding="utf-8"))
     series: Dict[str, float] = {}
     for bench in payload.get("benchmarks", []):
         series[bench["name"]] = float(bench["mean_s"])
         for key, value in (bench.get("extra_info") or {}).items():
-            if key.startswith("wall_") and key.endswith("_s") \
-                    and isinstance(value, (int, float)):
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                continue
+            if key.startswith("wall_") and key.endswith("_s"):
                 stage = key[len("wall_"):-len("_s")]
                 series[f"{bench['name']}[{stage}]"] = float(value)
+            elif key.endswith("_wall_s") or key.endswith("_count"):
+                series[f"{bench['name']}[{key}]"] = float(value)
     return series
 
 
@@ -126,8 +187,10 @@ def compare_runs(previous: Dict[str, float], current: Dict[str, float],
     """``(regressions, notes)`` between two name->mean mappings.
 
     A regression is a benchmark in both runs whose mean grew by more than
-    ``threshold`` (fractional) and whose previous mean was large enough to
-    be meaningful.  Notes record benchmarks that appeared or disappeared.
+    ``threshold`` (fractional) and whose previous value was large enough
+    to be meaningful — :data:`MIN_GATED_SECONDS` for timings,
+    :data:`MIN_GATED_COUNT` for ``*_count`` counter series.  Notes record
+    benchmarks that appeared or disappeared.
     """
     regressions: List[str] = []
     notes: List[str] = []
@@ -140,7 +203,9 @@ def compare_runs(previous: Dict[str, float], current: Dict[str, float],
             notes.append(f"benchmark disappeared: {name}")
             continue
         before, after = previous[name], current[name]
-        if before < MIN_GATED_SECONDS:
+        floor = MIN_GATED_COUNT if name.endswith("_count]") \
+            else MIN_GATED_SECONDS
+        if before < floor:
             continue
         growth = (after - before) / before
         if growth > threshold:
@@ -153,12 +218,13 @@ def compare_runs(previous: Dict[str, float], current: Dict[str, float],
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("root", nargs="?", default=".",
-                        help="repo root holding BENCH_*.json artifacts")
+                        help="repo root (artifacts under bench_history/) "
+                             "or a directory holding BENCH_*.json directly")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="fractional slowdown that fails the gate")
     args = parser.parse_args(argv)
 
-    root = pathlib.Path(args.root)
+    root = resolve_artifact_dir(pathlib.Path(args.root))
     artifacts = select_artifacts(root)
     if len(artifacts) < 2:
         print(f"benchmark gate: {len(artifacts)} artifact(s) under "

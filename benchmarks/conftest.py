@@ -45,8 +45,9 @@ def pytest_collection_modifyitems(config, items):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Serialize pytest-benchmark results to a ``BENCH_*`` artifact at the
-    repo root so the performance trajectory is tracked PR-over-PR.
+    """Serialize pytest-benchmark results to a ``BENCH_*`` artifact in the
+    managed ``bench_history/`` directory (git-ignored) so the performance
+    trajectory is tracked PR-over-PR without littering the repo root.
 
     Same-day reruns get a monotonic run suffix (``BENCH_<date>_<n>.json``)
     instead of overwriting the day's earlier artifact — the regression gate
@@ -75,11 +76,11 @@ def pytest_sessionfinish(session, exitstatus):
             for bench in bench_session.benchmarks
         ],
     }
-    path = REPO_ROOT / bench_gate.next_artifact_name(REPO_ROOT,
-                                                     payload["date"])
+    history = bench_gate.history_root(REPO_ROOT, create=True)
+    path = history / bench_gate.next_artifact_name(history, payload["date"])
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
-    bench_gate.prune_history(REPO_ROOT)
+    bench_gate.prune_history(history)
 
 
 @pytest.fixture(scope="session")

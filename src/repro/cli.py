@@ -46,6 +46,22 @@ def _parse_date(text: str) -> datetime.date:
             f"not an ISO date (YYYY-MM-DD): {text!r}") from exc
 
 
+def _host_port(text: str) -> str:
+    """Validate a ``host:port`` flag value (kept as a string; the backend
+    parses it again — this only turns malformed input into a proper CLI
+    usage error instead of a traceback from deep inside construction)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {text!r}")
+    try:
+        int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"port must be an integer, got {port!r}")
+    return text
+
+
 def _nonnegative_int(text: str) -> int:
     try:
         value = int(text)
@@ -79,8 +95,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "distance workload out over a real process "
                              "pool, 'distsim' (default) additionally "
                              "simulates the paper's machine cluster for "
-                             "makespan/utilization reports; results are "
-                             "identical across all three")
+                             "makespan/utilization reports, 'cluster' "
+                             "executes on real worker processes over TCP "
+                             "(see --listen/--spawn-workers; external "
+                             "workers join with `python -m "
+                             "repro.exec.worker --connect host:port`); "
+                             "results are identical across all of them")
+    parser.add_argument("--listen", metavar="HOST:PORT", type=_host_port,
+                        default=None,
+                        help="with --backend cluster: address the "
+                             "coordinator binds (default 127.0.0.1 with an "
+                             "OS-assigned port; use 0.0.0.0:<port> to "
+                             "accept workers from other machines)")
+    parser.add_argument("--spawn-workers", type=_nonnegative_int, default=2,
+                        help="with --backend cluster: localhost worker "
+                             "subprocesses launched automatically "
+                             "(default 2; 0 = wait for external workers "
+                             "to --connect)")
     parser.add_argument("--machines", type=int, default=10,
                         help="logical machine count, wired through the "
                              "backend config: sets the clustering "
@@ -179,9 +210,14 @@ def _engine_config(args: argparse.Namespace) -> DistanceEngineConfig:
 def _backend_config(args: argparse.Namespace) -> BackendConfig:
     # machines/workers flow through the backend config; the unset fields
     # (seed) inherit the pipeline values via KizzleConfig.resolved_backend.
+    # The cluster-only fields are inert on other backends; spawn_workers is
+    # zeroed for them so its default never implies subprocesses elsewhere.
     return BackendConfig(kind=args.backend, machines=args.machines,
                          workers=args.workers,
-                         partition_parallel=args.partition_parallel)
+                         partition_parallel=args.partition_parallel,
+                         listen=args.listen,
+                         spawn_workers=args.spawn_workers
+                         if args.backend == "cluster" else 0)
 
 
 def _kizzle_config(args: argparse.Namespace) -> KizzleConfig:
@@ -202,12 +238,14 @@ def _seeded_kizzle(generator: TelemetryGenerator,
 
 def command_process_day(args: argparse.Namespace, out) -> int:
     generator = TelemetryGenerator(_stream_config(args))
-    kizzle = _seeded_kizzle(generator, args,
-                            args.date - datetime.timedelta(days=7))
-    batch = generator.generate_day(args.date)
-    result = kizzle.process_day(
-        [(sample.sample_id, sample.content) for sample in batch.samples],
-        args.date)
+    # The context manager drains the backend on exit: pooled workers are
+    # released, and a cluster run's spawned worker subprocesses are reaped.
+    with _seeded_kizzle(generator, args,
+                        args.date - datetime.timedelta(days=7)) as kizzle:
+        batch = generator.generate_day(args.date)
+        result = kizzle.process_day(
+            [(sample.sample_id, sample.content) for sample in batch.samples],
+            args.date)
     print(f"{args.date}: {result.sample_count} samples, "
           f"{result.cluster_count} clusters "
           f"({len(result.malicious_clusters)} malicious), "
@@ -233,30 +271,33 @@ def command_process_day(args: argparse.Namespace, out) -> int:
 
 def command_scan(args: argparse.Namespace, out) -> int:
     generator = TelemetryGenerator(_stream_config(args))
-    kizzle = _seeded_kizzle(generator, args,
-                            args.train_date - datetime.timedelta(days=7))
-    train_batch = generator.generate_day(args.train_date)
-    kizzle.process_day([(s.sample_id, s.content) for s in train_batch.samples],
-                       args.train_date)
+    with _seeded_kizzle(generator, args,
+                        args.train_date
+                        - datetime.timedelta(days=7)) as kizzle:
+        train_batch = generator.generate_day(args.train_date)
+        kizzle.process_day(
+            [(s.sample_id, s.content) for s in train_batch.samples],
+            args.train_date)
 
-    from repro.scanner.avbaseline import SimulatedCommercialAV
+        from repro.scanner.avbaseline import SimulatedCommercialAV
 
-    av = SimulatedCommercialAV(timeline=generator.timeline)
-    scan_batch = generator.generate_day(args.scan_date)
-    rows = []
-    for kit, samples in sorted(scan_batch.by_kit().items()):
-        kizzle_hits = sum(1 for s in samples if kizzle.detects(s.content))
-        av_hits = sum(1 for s in samples
-                      if av.scan(s.sample_id, s.content,
-                                 as_of=args.scan_date).detected)
-        rows.append((kit, len(samples), kizzle_hits, av_hits))
-    print(f"scanning {args.scan_date} with signatures compiled on "
-          f"{args.train_date}:", file=out)
-    for kit, total, kizzle_hits, av_hits in rows:
-        print(f"  {kit:12s} {kizzle_hits:3d}/{total:<3d} (Kizzle)   "
-              f"{av_hits:3d}/{total:<3d} (AV)", file=out)
-    benign_fp = sum(1 for s in scan_batch.benign if kizzle.detects(s.content))
-    print(f"  benign false positives (Kizzle): {benign_fp}", file=out)
+        av = SimulatedCommercialAV(timeline=generator.timeline)
+        scan_batch = generator.generate_day(args.scan_date)
+        rows = []
+        for kit, samples in sorted(scan_batch.by_kit().items()):
+            kizzle_hits = sum(1 for s in samples if kizzle.detects(s.content))
+            av_hits = sum(1 for s in samples
+                          if av.scan(s.sample_id, s.content,
+                                     as_of=args.scan_date).detected)
+            rows.append((kit, len(samples), kizzle_hits, av_hits))
+        print(f"scanning {args.scan_date} with signatures compiled on "
+              f"{args.train_date}:", file=out)
+        for kit, total, kizzle_hits, av_hits in rows:
+            print(f"  {kit:12s} {kizzle_hits:3d}/{total:<3d} (Kizzle)   "
+                  f"{av_hits:3d}/{total:<3d} (AV)", file=out)
+        benign_fp = sum(1 for s in scan_batch.benign
+                        if kizzle.detects(s.content))
+        print(f"  benign false positives (Kizzle): {benign_fp}", file=out)
     return 0
 
 
@@ -266,7 +307,8 @@ def command_evaluate(args: argparse.Namespace, out) -> int:
     config = ExperimentConfig(start=start, end=end, seed_days=3,
                               stream=_stream_config(args),
                               kizzle=_kizzle_config(args))
-    report = MonthExperiment(config).run()
+    with MonthExperiment(config) as experiment:
+        report = experiment.run()
     fn = report.fn_series()
     print(format_day_series(fn["dates"], {"Kizzle FN": fn["kizzle"],
                                           "AV FN": fn["av"]},

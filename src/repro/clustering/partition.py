@@ -174,6 +174,10 @@ class PartitionMapResult:
     stats: Dict[str, int] = field(default_factory=dict)
     cache_entries: List[Tuple[Tuple[str, ...], Tuple[str, ...], int]] = \
         field(default_factory=list)
+    #: Which worker produced this result (cluster backend fills it in from
+    #: the lease; local pool results leave it ``None``).  Drives per-worker
+    #: stats attribution in :meth:`DistanceEngine.absorb_remote`.
+    worker_id: Optional[str] = None
 
 
 @dataclass
@@ -425,7 +429,8 @@ class DistributedClusterer:
                  for index, bucket in enumerate(buckets)]
         results, pool_seconds = executor.run(tasks)
         for result in results:
-            self.engine.absorb_remote(result.stats, result.cache_entries)
+            self.engine.absorb_remote(result.stats, result.cache_entries,
+                                      worker=result.worker_id)
         return self.backend.run_partition_map(
             buckets, results, pool_seconds, executor.pool_width(),
             reduce_function, item_bytes)

@@ -319,6 +319,9 @@ class DistanceEngine:
             # everyone, so such engines get a private cache instead.
             self.cache = PairDistanceCache(maxsize=self.config.cache_size)
         self.stats = EngineStats()
+        #: worker label -> aggregated stats absorbed from that worker
+        #: (cluster backend attribution; empty for purely local engines).
+        self.remote_worker_stats: Dict[str, EngineStats] = {}
         self._profiles: Dict[TokenString, PointProfile] = {}
 
     # -- profiles -------------------------------------------------------
@@ -339,8 +342,8 @@ class DistanceEngine:
 
     def absorb_remote(self, stats: Dict[str, int],
                       cache_entries: Iterable[
-                          Tuple[TokenString, TokenString, int]] = ()
-                      ) -> None:
+                          Tuple[TokenString, TokenString, int]] = (),
+                      worker: Optional[str] = None) -> None:
         """Merge a remote engine's accounting and distances into this one.
 
         Used by the partition-parallel map: each worker clusters its
@@ -349,8 +352,20 @@ class DistanceEngine:
         attribution identical to inline execution (the pairs were genuinely
         decided, just elsewhere), and seeding the cache lets the in-process
         reduce step reuse the map phase's exact distances.
+
+        ``worker`` optionally names the remote worker that produced the
+        stats (the cluster backend passes its lease's worker id); named
+        contributions additionally aggregate per worker in
+        :attr:`remote_worker_stats`, so a multi-machine run can report how
+        much distance work each machine actually did.
         """
-        self.stats.add(EngineStats(**stats))
+        delta = EngineStats(**stats)
+        self.stats.add(delta)
+        if worker is not None:
+            per_worker = self.remote_worker_stats.get(worker)
+            if per_worker is None:
+                per_worker = self.remote_worker_stats[worker] = EngineStats()
+            per_worker.add(delta)
         for a, b, distance in cache_entries:
             self.cache.put(a, b, distance)
 

@@ -198,6 +198,23 @@ class MonthExperiment:
         ])
 
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the pipeline's execution substrate (idempotent).
+
+        The pooled backends keep worker processes alive across days — the
+        cluster backend may even have spawned localhost worker
+        subprocesses — so an embedding application (or the CLI) should
+        close the experiment when done, or use it as a context manager.
+        """
+        self.kizzle.close()
+
+    def __enter__(self) -> "MonthExperiment":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     def seed(self) -> None:
         """Seed Kizzle's corpus with pre-study unpacked kit cores."""
         for kit in self.config.kits:

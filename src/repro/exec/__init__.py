@@ -1,9 +1,10 @@
 """Pluggable execution backends for the stage-graph pipeline.
 
-One interface (:class:`~repro.exec.backend.ExecutionBackend`), three
-substrates: inline serial execution, real process-pool fan-out, and the
-discrete-event cluster simulator.  Backends change where work runs and what
-the timing reports look like — never the pipeline's results.
+One interface (:class:`~repro.exec.backend.ExecutionBackend`), four
+substrates: inline serial execution, real process-pool fan-out, the
+discrete-event cluster simulator, and a true multi-machine cluster over
+TCP sockets.  Backends change where work runs and what the timing reports
+look like — never the pipeline's results.
 
 Only the interface module loads eagerly; the backend implementations (and
 their multiprocessing/simulator dependencies) resolve lazily on first
@@ -22,6 +23,10 @@ __all__ = [
     "SerialBackend",
     "ProcessBackend",
     "DistsimBackend",
+    "ClusterBackend",
+    "ClusterCoordinator",
+    "ClusterError",
+    "spawn_local_worker",
     "ProcessPairExecutor",
     "SerialPairExecutor",
     "PartitionPoolExecutor",
@@ -35,6 +40,10 @@ _LAZY = {
     "SerialPairExecutor": "repro.exec.process",
     "DistsimBackend": "repro.exec.distsim",
     "PartitionPoolExecutor": "repro.exec.partition",
+    "ClusterBackend": "repro.exec.cluster",
+    "ClusterCoordinator": "repro.exec.cluster",
+    "ClusterError": "repro.exec.cluster",
+    "spawn_local_worker": "repro.exec.cluster",
 }
 
 

@@ -17,10 +17,16 @@ Three implementations share the interface:
   side-channel cost charging.  This is the default (it reproduces the
   paper's 50-machine timing model, and it is what the seed reproduction
   always did).
+* :class:`~repro.exec.cluster.ClusterBackend` — true multi-machine
+  execution: a TCP coordinator leases whole partition map tasks and
+  pair-decision chunks to :mod:`repro.exec.worker` processes on this or
+  other hosts, with heartbeats, per-task deadlines and re-dispatch on
+  worker loss (``tests/test_cluster_faults.py`` proves byte-identity
+  under injected failures).
 
 Backends only change *where and how fast* work executes, never its result:
 cluster labels, signatures and per-day FP/FN are byte-identical across all
-three (asserted in ``tests/test_backends.py``).  Anything that affects
+of them (asserted in ``tests/test_backends.py``).  Anything that affects
 results — partition counts, shuffle seeds, epsilon — stays in
 :class:`~repro.core.config.KizzleConfig` and is shared by every backend.
 """
@@ -36,7 +42,7 @@ from repro.distsim.machine import MachineSpec
 from repro.distsim.mapreduce import MapReduceReport
 
 #: Recognized backend kinds, in CLI/help order.
-BACKEND_KINDS = ("serial", "process", "distsim")
+BACKEND_KINDS = ("serial", "process", "distsim", "cluster")
 
 
 @dataclass(frozen=True)
@@ -46,9 +52,11 @@ class BackendConfig:
     Attributes
     ----------
     kind:
-        ``"serial"``, ``"process"`` or ``"distsim"`` (the default; it
+        ``"serial"``, ``"process"``, ``"distsim"`` (the default; it
         reproduces the seed behaviour, including the simulated timing
-        model *and* the process-pool distance fan-out).
+        model *and* the process-pool distance fan-out) or ``"cluster"``
+        (real multi-machine execution over TCP workers; see
+        :mod:`repro.exec.cluster`).
     machines:
         Size of the simulated machine pool (distsim) and the unit count
         extra stages are charged over.  ``None`` inherits
@@ -69,6 +77,18 @@ class BackendConfig:
     seed:
         Base seed for deterministic per-chunk worker RNG seeding.  ``None``
         inherits ``KizzleConfig.seed``.
+    listen:
+        Cluster backend only: ``"host:port"`` the TCP coordinator binds
+        (``None`` means loopback with an OS-assigned port; read the real
+        address from ``ClusterBackend.address``).
+    spawn_workers:
+        Cluster backend only: localhost worker subprocesses the backend
+        launches itself (``0`` means all workers are external — started
+        by hand with ``python -m repro.exec.worker --connect host:port``).
+    task_deadline_s / heartbeat_timeout_s / max_task_retries:
+        Cluster backend only: per-lease execution deadline, maximum worker
+        silence before it is declared dead, and the re-dispatch budget per
+        task (see :class:`~repro.exec.cluster.ClusterCoordinator`).
     """
 
     kind: str = "distsim"
@@ -76,6 +96,11 @@ class BackendConfig:
     workers: Optional[int] = None
     partition_parallel: bool = True
     seed: Optional[int] = None
+    listen: Optional[str] = None
+    spawn_workers: int = 0
+    task_deadline_s: float = 60.0
+    heartbeat_timeout_s: float = 10.0
+    max_task_retries: int = 3
 
     def __post_init__(self) -> None:
         if self.kind not in BACKEND_KINDS:
@@ -86,6 +111,12 @@ class BackendConfig:
             raise ValueError("machines must be at least 1")
         if self.workers is not None and self.workers < 0:
             raise ValueError("workers must be non-negative")
+        if self.spawn_workers < 0:
+            raise ValueError("spawn_workers must be non-negative")
+        if self.task_deadline_s <= 0 or self.heartbeat_timeout_s <= 0:
+            raise ValueError("cluster deadlines must be positive")
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries must be non-negative")
 
     def resolved(self, machines: int, workers: int,
                  seed: int) -> "BackendConfig":
@@ -95,7 +126,12 @@ class BackendConfig:
             machines=self.machines if self.machines is not None else machines,
             workers=self.workers if self.workers is not None else workers,
             partition_parallel=self.partition_parallel,
-            seed=self.seed if self.seed is not None else seed)
+            seed=self.seed if self.seed is not None else seed,
+            listen=self.listen,
+            spawn_workers=self.spawn_workers,
+            task_deadline_s=self.task_deadline_s,
+            heartbeat_timeout_s=self.heartbeat_timeout_s,
+            max_task_retries=self.max_task_retries)
 
 
 class ExecutionBackend(abc.ABC):
@@ -291,4 +327,7 @@ def create_backend(config: BackendConfig) -> ExecutionBackend:
     if config.kind == "distsim":
         from repro.exec.distsim import DistsimBackend
         return DistsimBackend(config)
+    if config.kind == "cluster":
+        from repro.exec.cluster import ClusterBackend
+        return ClusterBackend(config)
     raise ValueError(f"unknown backend kind {config.kind!r}")

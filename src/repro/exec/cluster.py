@@ -1,0 +1,773 @@
+"""True multi-machine execution: a TCP coordinator and its backend.
+
+The paper ran the daily clustering as map tasks on a real machine cluster;
+this module closes that gap.  A :class:`ClusterCoordinator` listens on a
+TCP socket, registers :mod:`repro.exec.worker` processes as they connect
+(from this host or any other), leases them work — whole
+:class:`~repro.clustering.partition.PartitionMapTask` objects for the
+partition-level map, :class:`PairChunkLease` bundles for the distance-pair
+fan-out — and collects the results.  :class:`ClusterBackend` wraps the
+coordinator behind the ordinary
+:class:`~repro.exec.backend.ExecutionBackend` interface, so the pipeline
+drives a real cluster through exactly the seam the process backend uses.
+
+Failure model
+-------------
+Workers lease one task at a time (pull model) and are monitored two ways:
+a *heartbeat* timeout (any frame from the worker counts as liveness; the
+worker also sends explicit heartbeats while computing) and a *per-task
+deadline* on every lease.  A worker that misses either — or whose socket
+drops, cleanly or mid-frame — is declared dead: its connection is torn
+down and its leased task goes back to the front of the queue with the dead
+worker recorded in the task's *exclusion list* and its attempt counter
+bumped.  A task that exhausts ``max_task_retries`` re-dispatches fails the
+whole submission (:class:`ClusterError`) rather than silently degrading.
+
+Determinism: task identity — not worker identity — carries the RNG seed
+(``PartitionMapTask.run`` seeds from ``(seed, partition_index)``, pair
+chunks from ``(seed, chunk_index)``), and results are merged in task order
+regardless of completion order, so any worker count, placement, or
+mid-map re-dispatch is byte-identical to inline execution.  Effects are
+at-most-once *observable*: a re-dispatched task may execute twice, but the
+coordinator accepts only the result of the live lease and drops late
+duplicates — and task execution is pure, so even the dropped duplicate had
+no side effects.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exec import wire
+from repro.exec.backend import BackendConfig, InlineBackend
+from repro.exec.process import PairDecision, SerialPairExecutor, decide_chunk
+
+#: Default coordinator bind address: loopback, OS-assigned port.
+DEFAULT_LISTEN = "127.0.0.1:0"
+
+
+class ClusterError(RuntimeError):
+    """The cluster could not complete a submission (no workers arrived,
+    a task exhausted its retry budget, or the overall deadline passed)."""
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (IPv4/hostname form)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected host:port, got {text!r}")
+    return host, int(port)
+
+
+@dataclass
+class PairChunkLease:
+    """One lease of the distance-pair workload: a contiguous run of indexed
+    chunks plus everything a remote worker needs to decide them.
+
+    The chunk indices preserve the parent batch's numbering, so the
+    per-chunk RNG seeding (``chunk_seed(seed, chunk_index)``) is identical
+    to inline execution no matter how chunks are grouped into leases or
+    which worker runs them.
+    """
+
+    points: List[Tuple[str, ...]]
+    chunks: List[Tuple[int, List[Tuple[int, int]]]]
+    epsilon: float
+    config: Any  # DistanceEngineConfig (kept loose to avoid a cycle)
+    seed: int
+
+
+def run_pair_lease(lease: PairChunkLease
+                   ) -> List[Tuple[int, List[PairDecision], Dict[str, int]]]:
+    """Execute one pair lease (worker side).
+
+    Profiles are shared across the lease's chunks — a pure cache, so
+    grouping has no observable effect — and each chunk re-seeds its RNG
+    from its own index exactly as the serial and process executors do.
+    """
+    profiles: Dict[int, Any] = {}
+    out = []
+    for index, chunk in lease.chunks:
+        decisions, stats = decide_chunk(lease.points, profiles,
+                                        (index, chunk), lease.epsilon,
+                                        lease.config, lease.seed)
+        out.append((index, decisions, stats))
+    return out
+
+
+# ----------------------------------------------------------------------
+# coordinator internals
+# ----------------------------------------------------------------------
+@dataclass
+class _TaskState:
+    """One unit of leased work and its lifecycle bookkeeping."""
+
+    task_id: int
+    kind: str
+    payload: Any
+    attempts: int = 0
+    excluded: set = field(default_factory=set)
+    lease_worker: Optional[str] = None
+    lease_deadline: float = 0.0
+    done: bool = False
+    failed: Optional[str] = None
+    result: Any = None
+    worker_id: Optional[str] = None  # who produced the accepted result
+
+
+class _WorkerConn:
+    """Coordinator-side state of one connected worker."""
+
+    def __init__(self, worker_id: str, conn: socket.socket,
+                 address: Tuple[str, int], pid: Optional[int]) -> None:
+        self.worker_id = worker_id
+        self.conn = conn
+        self.address = address
+        self.pid = pid
+        self.last_seen = time.monotonic()
+        self.batch_tasks = 0   # tasks leased in the current submission
+        self.tasks_done = 0
+        self.send_lock = threading.Lock()
+        self.alive = True
+
+    def send(self, payload: Any) -> None:
+        with self.send_lock:
+            wire.send_frame(self.conn, payload)
+
+    def kill_connection(self) -> None:
+        """Tear the socket down; unblocks the handler thread's recv."""
+        try:
+            self.conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class ClusterCoordinator:
+    """TCP coordinator: registers workers, leases tasks, collects results.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port 0 asks the OS for a free port (read the real
+        one from :attr:`address` after :meth:`start`).
+    task_deadline_s:
+        Per-lease execution deadline.  A worker holding a lease past this
+        is presumed stuck and declared dead.
+    heartbeat_timeout_s:
+        Maximum silence (no frame of any kind) before a worker is declared
+        dead.  Workers heartbeat from a side thread while computing, so a
+        long task does not trip this.
+    max_task_retries:
+        Re-dispatch budget per task; exhausting it fails the submission.
+    min_workers:
+        Workers the *initial* fleet must reach before the first lease is
+        handed out.  Once that many have registered at least once, later
+        submissions only require a single live worker — a fleet shrunk by
+        failures must keep making progress (losing machines mid-run is
+        exactly what the re-dispatch path is for).
+    worker_wait_s:
+        How long :meth:`submit` waits for ``min_workers`` to arrive.
+    """
+
+    #: Monitor thread poll interval (heartbeat/deadline sweep).
+    MONITOR_INTERVAL = 0.1
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 task_deadline_s: float = 60.0,
+                 heartbeat_timeout_s: float = 10.0,
+                 max_task_retries: int = 3,
+                 min_workers: int = 1,
+                 worker_wait_s: float = 30.0) -> None:
+        if task_deadline_s <= 0 or heartbeat_timeout_s <= 0:
+            raise ValueError("deadlines must be positive")
+        if max_task_retries < 0:
+            raise ValueError("max_task_retries must be non-negative")
+        if min_workers < 1:
+            raise ValueError("min_workers must be at least 1")
+        self.task_deadline_s = task_deadline_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.max_task_retries = max_task_retries
+        self.min_workers = min_workers
+        self.worker_wait_s = worker_wait_s
+
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind((host, port))
+        self._server.listen(64)
+        #: Resolved ``(host, port)`` the coordinator is reachable on.
+        self.address: Tuple[str, int] = self._server.getsockname()[:2]
+
+        self._state = threading.Condition()
+        self._workers: Dict[str, _WorkerConn] = {}
+        self._pending: "deque[_TaskState]" = deque()
+        self._leased: Dict[int, _TaskState] = {}
+        self._next_worker = 0
+        self._next_task = 0
+        self._closed = False
+        self._submit_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+
+        #: Tasks whose lease was torn down and re-queued (the fault
+        #: tests and the nightly benchmark assert on this).
+        self.redispatch_count = 0
+        #: Results accepted from remote workers.
+        self.remote_results = 0
+        #: worker_id -> accepted result count.
+        self.tasks_by_worker: Dict[str, int] = {}
+        #: Workers that ever completed registration.
+        self.workers_seen = 0
+
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Launch the accept and monitor threads; returns the address."""
+        if self._started:
+            return self.address
+        self._started = True
+        for target, name in ((self._accept_loop, "cluster-accept"),
+                             (self._monitor_loop, "cluster-monitor")):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self.address
+
+    def close(self) -> None:
+        """Drain and shut down: tell workers to exit, drop connections,
+        stop the service threads.  Idempotent."""
+        with self._state:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+            self._state.notify_all()
+        for worker in workers:
+            try:
+                worker.send(("shutdown", {}))
+            except (OSError, wire.WireError):
+                pass
+            worker.kill_connection()
+        # Wake the accept loop (closing the listener alone does not
+        # reliably unblock accept() on every platform).
+        try:
+            poke = socket.create_connection(self.address, timeout=0.5)
+            poke.close()
+        except OSError:
+            pass
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    @property
+    def worker_count(self) -> int:
+        with self._state:
+            return len(self._workers)
+
+    def wait_for_workers(self, count: int,
+                         timeout: Optional[float] = None) -> None:
+        """Block until ``count`` workers are registered."""
+        deadline = time.monotonic() + (timeout if timeout is not None
+                                       else self.worker_wait_s)
+        with self._state:
+            while len(self._workers) < count:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ClusterError(
+                        f"only {len(self._workers)} of {count} workers "
+                        f"connected within the wait window")
+                self._state.wait(timeout=min(remaining, 0.2))
+
+    # -- submission -----------------------------------------------------
+    def submit(self, kind: str, payloads: Sequence[Any],
+               timeout: Optional[float] = None
+               ) -> List[Tuple[Any, Optional[str]]]:
+        """Lease every payload to the worker pool; block for all results.
+
+        Returns ``[(result, worker_id), ...]`` in payload order.  One
+        submission runs at a time (the pipeline's stages are sequential);
+        raises :class:`ClusterError` on retry exhaustion, worker drought,
+        or overall timeout — never hangs.  The default timeout scales with
+        the batch: even one surviving worker grinding through every task
+        serially, each near its per-lease deadline, stays within it.
+        """
+        if timeout is None:
+            timeout = self.worker_wait_s + 30.0 + self.task_deadline_s * (
+                len(payloads) + self.max_task_retries + 1)
+        with self._submit_lock:
+            # Assemble the full fleet once; after that, one survivor is
+            # enough (shrinkage is the failure model, not a config error).
+            if self.workers_seen < self.min_workers:
+                self.wait_for_workers(self.min_workers)
+            else:
+                self.wait_for_workers(1)
+            deadline = time.monotonic() + timeout
+            with self._state:
+                states = []
+                for payload in payloads:
+                    state = _TaskState(task_id=self._next_task, kind=kind,
+                                       payload=payload)
+                    self._next_task += 1
+                    states.append(state)
+                    self._pending.append(state)
+                # New batch: reset the first-lease fairness counters.
+                for worker in self._workers.values():
+                    worker.batch_tasks = 0
+                self._state.notify_all()
+                while True:
+                    failed = next((s for s in states if s.failed), None)
+                    if failed is not None:
+                        self._abort_batch(states)
+                        raise ClusterError(
+                            f"task {failed.task_id} ({kind}) failed after "
+                            f"{failed.attempts} attempt(s): {failed.failed}")
+                    if all(s.done for s in states):
+                        break
+                    if time.monotonic() > deadline:
+                        self._abort_batch(states)
+                        raise ClusterError(
+                            f"submission of {len(states)} {kind} task(s) "
+                            f"did not complete within {timeout:.1f}s "
+                            f"({sum(s.done for s in states)} done, "
+                            f"{len(self._workers)} worker(s) connected)")
+                    self._state.wait(timeout=0.2)
+                return [(s.result, s.worker_id) for s in states]
+
+    def _abort_batch(self, states: List[_TaskState]) -> None:
+        """Withdraw a failed batch's tasks (caller holds the lock)."""
+        batch = {s.task_id for s in states}
+        self._pending = deque(s for s in self._pending
+                              if s.task_id not in batch)
+        for task_id in [t for t in self._leased if t in batch]:
+            del self._leased[task_id]
+
+    # -- accept/handler/monitor threads ---------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, address = self._server.accept()
+            except OSError:
+                return
+            with self._state:
+                if self._closed:
+                    conn.close()
+                    return
+            thread = threading.Thread(
+                target=self._serve_worker, args=(conn, address),
+                name="cluster-conn", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_worker(self, conn: socket.socket,
+                      address: Tuple[str, int]) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        worker: Optional[_WorkerConn] = None
+        try:
+            hello = wire.recv_frame(conn)
+            if not (isinstance(hello, tuple) and len(hello) == 2
+                    and hello[0] == "hello" and isinstance(hello[1], dict)):
+                conn.close()
+                return
+            info = hello[1]
+            with self._state:
+                if self._closed:
+                    # Raced with close(): the shutdown snapshot no longer
+                    # covers us, so registering now would leak this
+                    # handler, socket and worker process past close().
+                    conn.close()
+                    return
+                self._next_worker += 1
+                worker = _WorkerConn(f"w{self._next_worker}", conn, address,
+                                     info.get("pid"))
+                self._workers[worker.worker_id] = worker
+                self.workers_seen += 1
+                self._state.notify_all()
+            worker.send(("welcome", {
+                "worker_id": worker.worker_id,
+                "heartbeat_timeout_s": self.heartbeat_timeout_s}))
+            while True:
+                message = wire.recv_frame(conn)
+                if not (isinstance(message, tuple) and len(message) == 2
+                        and isinstance(message[1], dict)):
+                    break  # protocol drift: drop the peer
+                kind, body = message
+                with self._state:
+                    worker.last_seen = time.monotonic()
+                if kind == "heartbeat":
+                    continue
+                if kind == "request":
+                    self._handle_request(worker)
+                elif kind == "result":
+                    self._handle_result(worker, body)
+                elif kind == "failed":
+                    self._handle_failed(worker, body)
+                else:  # unknown frame kind: protocol drift, drop the peer
+                    break
+        except (wire.WireError, OSError):
+            pass
+        finally:
+            if worker is not None:
+                self._mark_dead(worker)
+            else:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _handle_request(self, worker: _WorkerConn) -> None:
+        with self._state:
+            task = self._next_task_for(worker)
+            if task is not None:
+                task.lease_worker = worker.worker_id
+                task.lease_deadline = time.monotonic() + self.task_deadline_s
+                task.attempts += 1
+                self._leased[task.task_id] = task
+                worker.batch_tasks += 1
+        if task is None:
+            worker.send(("idle", {}))
+            return
+        try:
+            # An OSError here means the connection is dead; the handler's
+            # recv side hits the same error and _mark_dead re-queues the
+            # lease.
+            worker.send(("task", {"task_id": task.task_id,
+                                  "kind": task.kind,
+                                  "payload": task.payload,
+                                  "deadline_s": self.task_deadline_s}))
+        except wire.FrameTooLarge as exc:
+            # Local encode failure: no byte hit the socket, the worker is
+            # perfectly healthy, and every other worker would fail the
+            # same way — fail the *task*, not the connection (otherwise
+            # one oversized payload would serially kill healthy workers
+            # and surface as a misleading "worker died").
+            with self._state:
+                if self._leased.pop(task.task_id, None) is not None:
+                    task.lease_worker = None
+                    task.failed = f"task payload cannot be framed: {exc}"
+                    self._state.notify_all()
+            worker.send(("idle", {}))
+
+    def _next_task_for(self, worker: _WorkerConn) -> Optional[_TaskState]:
+        """Pop the first pending task this worker may run (lock held).
+
+        First-lease fairness: while some *connected* workers have not
+        received any task of the current batch, the last ``k`` pending
+        tasks are reserved for those ``k`` workers.  Work still flows —
+        a fast worker is only deferred when pending tasks are scarcer
+        than unserved workers — but every live worker is guaranteed a
+        first lease, which both spreads the map and makes the
+        fault-injection tests deterministic (the faulty worker *will*
+        hold a task when it dies).
+        """
+        if not self._pending:
+            return None
+        unserved = sum(
+            1 for other in self._workers.values()
+            if other.batch_tasks == 0 and other.worker_id != worker.worker_id)
+        if worker.batch_tasks > 0 and len(self._pending) <= unserved:
+            return None
+        for index, task in enumerate(self._pending):
+            if worker.worker_id not in task.excluded:
+                del self._pending[index]
+                return task
+        return None
+
+    def _handle_result(self, worker: _WorkerConn, body: Dict) -> None:
+        task_id = body.get("task_id")
+        with self._state:
+            task = self._leased.get(task_id)
+            if task is None or task.lease_worker != worker.worker_id \
+                    or task.done:
+                # Late duplicate from a lease already torn down and
+                # re-dispatched: at-most-once observable effects — drop it.
+                return
+            del self._leased[task_id]
+            task.done = True
+            task.result = body.get("payload")
+            task.worker_id = worker.worker_id
+            task.lease_worker = None
+            worker.tasks_done += 1
+            self.remote_results += 1
+            self.tasks_by_worker[worker.worker_id] = \
+                self.tasks_by_worker.get(worker.worker_id, 0) + 1
+            self._state.notify_all()
+
+    def _handle_failed(self, worker: _WorkerConn, body: Dict) -> None:
+        """A worker reported a task error without dying: exclude it from
+        this task and re-queue (same path as a dead worker's lease)."""
+        task_id = body.get("task_id")
+        with self._state:
+            task = self._leased.get(task_id)
+            if task is None or task.lease_worker != worker.worker_id:
+                return
+            del self._leased[task_id]
+            self._requeue(task, worker.worker_id,
+                          reason=body.get("error", "worker error"))
+            self._state.notify_all()
+
+    def _requeue(self, task: _TaskState, worker_id: str,
+                 reason: str) -> None:
+        """Return a torn-down lease to the queue front (lock held)."""
+        task.lease_worker = None
+        task.excluded.add(worker_id)
+        self.redispatch_count += 1
+        if task.attempts > self.max_task_retries:
+            task.failed = reason
+        else:
+            self._pending.appendleft(task)
+
+    def _mark_dead(self, worker: _WorkerConn) -> None:
+        worker.kill_connection()
+        with self._state:
+            if not worker.alive:
+                return
+            worker.alive = False
+            self._workers.pop(worker.worker_id, None)
+            for task_id in [t for t, s in self._leased.items()
+                            if s.lease_worker == worker.worker_id]:
+                task = self._leased.pop(task_id)
+                self._requeue(task, worker.worker_id,
+                              reason=f"worker {worker.worker_id} died or "
+                                     f"timed out")
+            self._state.notify_all()
+
+    def _monitor_loop(self) -> None:
+        """Sweep heartbeats and lease deadlines; killing the connection of
+        an expired worker unblocks its handler thread, which re-queues the
+        lease through :meth:`_mark_dead`."""
+        while True:
+            with self._state:
+                if self._closed:
+                    return
+                now = time.monotonic()
+                expired = [
+                    worker for worker in self._workers.values()
+                    if now - worker.last_seen > self.heartbeat_timeout_s]
+                overdue = [
+                    self._workers[state.lease_worker]
+                    for state in self._leased.values()
+                    if state.lease_worker in self._workers
+                    and now > state.lease_deadline]
+            for worker in {w.worker_id: w
+                           for w in expired + overdue}.values():
+                worker.kill_connection()
+            time.sleep(self.MONITOR_INTERVAL)
+
+
+# ----------------------------------------------------------------------
+# local worker spawning (tests, examples, and the CLI's convenience path)
+# ----------------------------------------------------------------------
+def spawn_local_worker(address: Tuple[str, int], *,
+                       heartbeat_interval: float = 2.0,
+                       fault: Optional[str] = None,
+                       python: Optional[str] = None,
+                       capture_output: bool = False) -> subprocess.Popen:
+    """Launch ``python -m repro.exec.worker --connect host:port`` locally.
+
+    The child inherits the environment with this package's ``src`` root
+    prepended to ``PYTHONPATH`` (the worker must import the very same code
+    the coordinator pickles tasks from).  ``fault`` forwards a
+    fault-injection flag (test harness only; see :mod:`repro.exec.worker`).
+    """
+    import repro
+
+    host, port = address
+    command = [python or sys.executable, "-m", "repro.exec.worker",
+               "--connect", f"{host}:{port}",
+               "--heartbeat-interval", str(heartbeat_interval)]
+    if fault:
+        command += ["--fault", fault]
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing else "")
+    sink = subprocess.PIPE if capture_output else subprocess.DEVNULL
+    return subprocess.Popen(command, env=env, stdout=sink, stderr=sink)
+
+
+# ----------------------------------------------------------------------
+# executors over the coordinator
+# ----------------------------------------------------------------------
+class ClusterPartitionExecutor:
+    """Partition-level map executor running on the worker cluster.
+
+    Drop-in for :class:`~repro.exec.partition.PartitionPoolExecutor`: the
+    clustering driver ships whole ``PartitionMapTask`` objects and gets
+    ``PartitionMapResult`` objects back in task order, each annotated with
+    the worker that produced it (``result.worker_id``) so the distance
+    engine can attribute remote stats per worker.
+    """
+
+    name = "cluster"
+
+    def __init__(self, coordinator: ClusterCoordinator) -> None:
+        self.coordinator = coordinator
+        #: Batches submitted to the cluster (there is no inline fallback
+        #: here — engagement gating lives in the clustering driver).
+        self.pooled_batches = 0
+
+    def pool_width(self) -> int:
+        return max(1, self.coordinator.worker_count)
+
+    def should_engage(self, task_count: int) -> bool:
+        """Two or more partitions are worth distributing; worker arrival is
+        awaited at dispatch (workers may still be connecting)."""
+        return task_count >= 2
+
+    def run(self, tasks: Sequence[Any]) -> Tuple[List[Any], float]:
+        started = time.perf_counter()
+        self.pooled_batches += 1
+        outcomes = self.coordinator.submit("partition_map", list(tasks))
+        results = []
+        for result, worker_id in outcomes:
+            result.worker_id = worker_id
+            results.append(result)
+        return results, time.perf_counter() - started
+
+
+class ClusterPairExecutor:
+    """Distance-pair batch executor over the worker cluster.
+
+    Chunks are grouped into one contiguous lease per expected worker;
+    indices ride along so the per-chunk RNG seeding — and therefore every
+    decision — is identical to the serial and process executors.  Falls
+    back to the in-process serial path when the batch is too small to
+    ship or no worker is connected (byte-identical either way).
+    """
+
+    name = "cluster"
+
+    def __init__(self, coordinator: ClusterCoordinator, seed: int = 0) -> None:
+        self.coordinator = coordinator
+        self.seed = seed
+
+    def decide_chunks(self, points: List[Tuple[str, ...]],
+                      chunks: Sequence[Sequence[Tuple[int, int]]],
+                      epsilon: float, config: Any
+                      ) -> Iterable[Tuple[List[PairDecision],
+                                          Dict[str, int]]]:
+        workers = self.coordinator.worker_count
+        if len(chunks) < 2 or workers < 1:
+            yield from SerialPairExecutor(self.seed).decide_chunks(
+                points, chunks, epsilon, config)
+            return
+        worker_config = replace(config, shared_cache=False, cache_size=0,
+                                workers=1)
+        indexed = list(enumerate(list(chunk) for chunk in chunks))
+        lease_count = min(workers, len(indexed))
+        size, remainder = divmod(len(indexed), lease_count)
+        leases, cursor = [], 0
+        for index in range(lease_count):
+            take = size + (1 if index < remainder else 0)
+            leases.append(PairChunkLease(
+                points=list(points), chunks=indexed[cursor:cursor + take],
+                epsilon=epsilon, config=worker_config, seed=self.seed))
+            cursor += take
+        by_index: Dict[int, Tuple[List[PairDecision], Dict[str, int]]] = {}
+        for outcome, _worker in self.coordinator.submit("pair_chunks",
+                                                        leases):
+            for chunk_index, decisions, stats in outcome:
+                by_index[chunk_index] = (decisions, stats)
+        for chunk_index in range(len(chunks)):
+            yield by_index[chunk_index]
+
+
+# ----------------------------------------------------------------------
+# the backend
+# ----------------------------------------------------------------------
+class ClusterBackend(InlineBackend):
+    """Real multi-machine execution behind the standard backend seam.
+
+    The coordinator starts (and binds) at construction, so callers can
+    read :attr:`address` and point external workers at it before the
+    first day is processed; ``config.spawn_workers`` optionally launches
+    that many localhost worker subprocesses for single-host use (the CI
+    and example path).  Report times are measured wall clock, like every
+    inline backend; :attr:`redispatch_count` and the per-worker task
+    counts surface the failure-handling telemetry the fault tests and the
+    nightly benchmark assert on.
+    """
+
+    name = "cluster"
+
+    def __init__(self, config: BackendConfig) -> None:
+        super().__init__(config)
+        host, port = parse_address(config.listen or DEFAULT_LISTEN)
+        min_workers = max(1, config.spawn_workers)
+        self.coordinator = ClusterCoordinator(
+            host, port,
+            task_deadline_s=config.task_deadline_s,
+            heartbeat_timeout_s=config.heartbeat_timeout_s,
+            max_task_retries=config.max_task_retries,
+            min_workers=min_workers)
+        self.coordinator.start()
+        self._procs: List[subprocess.Popen] = [
+            spawn_local_worker(
+                self.coordinator.address,
+                heartbeat_interval=config.heartbeat_timeout_s / 4.0)
+            for _ in range(config.spawn_workers)]
+        self._partition_executor = ClusterPartitionExecutor(self.coordinator)
+        self._pair_executor = ClusterPairExecutor(self.coordinator,
+                                                  seed=config.seed or 0)
+
+    # -- substrate ------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Where workers should ``--connect``."""
+        return self.coordinator.address
+
+    @property
+    def charge_units(self) -> int:
+        return max(1, self.coordinator.worker_count)
+
+    @property
+    def redispatch_count(self) -> int:
+        """Leases torn down (dead/timed-out worker) and re-queued."""
+        return self.coordinator.redispatch_count
+
+    @property
+    def remote_task_count(self) -> int:
+        """Results accepted from remote workers (engagement telemetry)."""
+        return self.coordinator.remote_results
+
+    def pair_executor(self):
+        return self._pair_executor
+
+    def partition_executor(self):
+        return self._partition_executor
+
+    def engine_config(self, base):
+        updates: Dict[str, Any] = {}
+        if self.config.seed is not None and base.seed != self.config.seed:
+            updates["seed"] = self.config.seed
+        return replace(base, **updates) if updates else base
+
+    def close(self) -> None:
+        """Drain the cluster: shut the coordinator down (which tells
+        connected workers to exit) and reap spawned local workers."""
+        self.coordinator.close()
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+        self._procs = []

@@ -1,0 +1,213 @@
+"""Standalone cluster worker: ``python -m repro.exec.worker --connect ...``.
+
+One worker process serves one coordinator connection.  The loop is a pull
+model: the worker requests a task, executes it, sends the result, repeats;
+a side thread heartbeats over the same socket (sends are serialized by a
+lock) so liveness is visible even while a long task computes.  The worker
+exits when the coordinator says ``shutdown`` or the connection drops —
+a worker never outlives its coordinator on the happy path.
+
+Task kinds mirror the coordinator's leases:
+
+* ``partition_map`` — a :class:`~repro.clustering.partition.PartitionMapTask`;
+  execution is exactly ``task.run()``, the same code path the inline and
+  process-pool substrates use, which is what makes cluster execution
+  byte-identical by construction.
+* ``pair_chunks`` — a :class:`~repro.exec.cluster.PairChunkLease` of
+  distance-pair chunks, decided through the shared
+  :func:`~repro.exec.process.decide_chunk`.
+
+A task that raises is reported back as ``failed`` (the coordinator
+re-dispatches it elsewhere); the worker itself stays up.
+
+Fault injection (test harness)
+------------------------------
+``--fault`` arms one deliberately broken behaviour so the fault-injection
+suite can exercise the coordinator's failure handling deterministically:
+
+* ``sigkill-mid-task`` — SIGKILL this very process the moment the first
+  task arrives (a machine lost mid-map: no goodbye, no flush);
+* ``drop-mid-frame`` — compute the first result, send only half of its
+  frame, then sever the connection (a torn write: the coordinator must
+  treat the truncated frame as a dead worker, never unpickle it);
+* ``stall-heartbeat`` — accept the first task, then stop heartbeating and
+  never answer (a wedged process: only the heartbeat/deadline sweep can
+  reclaim the lease).
+
+These flags exist for the test suite; production deployments simply never
+pass ``--fault``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+from typing import Any, Optional, Tuple
+
+from repro.exec import wire
+from repro.exec.cluster import PairChunkLease, parse_address, run_pair_lease
+
+FAULTS = ("sigkill-mid-task", "drop-mid-frame", "stall-heartbeat")
+
+
+def execute_task(kind: str, payload: Any) -> Any:
+    """Run one leased task; shared by the worker loop and its tests."""
+    if kind == "partition_map":
+        return payload.run()
+    if kind == "pair_chunks":
+        if not isinstance(payload, PairChunkLease):
+            raise TypeError(f"pair_chunks payload must be a PairChunkLease, "
+                            f"got {type(payload).__name__}")
+        return run_pair_lease(payload)
+    raise ValueError(f"unknown task kind {kind!r}")
+
+
+class Worker:
+    """One coordinator connection's worth of worker state."""
+
+    def __init__(self, address: Tuple[str, int], *,
+                 heartbeat_interval: float = 2.0,
+                 fault: Optional[str] = None) -> None:
+        if fault is not None and fault not in FAULTS:
+            raise ValueError(f"unknown fault {fault!r}")
+        self.address = address
+        self.heartbeat_interval = heartbeat_interval
+        self.fault = fault
+        self.worker_id: Optional[str] = None
+        self.tasks_done = 0
+        self._sock: Optional[socket.socket] = None
+        self._send_lock = threading.Lock()
+        self._stop_heartbeat = threading.Event()
+
+    # -- plumbing -------------------------------------------------------
+    def _send(self, payload: Any) -> None:
+        with self._send_lock:
+            wire.send_frame(self._sock, payload)
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop_heartbeat.wait(self.heartbeat_interval):
+            try:
+                self._send(("heartbeat", {}))
+            except (OSError, wire.WireError):
+                return
+
+    # -- faults ---------------------------------------------------------
+    def _inject_on_task(self, task_id: int) -> None:
+        """Fire the armed fault now that a task is leased to us."""
+        if self.fault == "sigkill-mid-task":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self.fault == "stall-heartbeat":
+            self._stop_heartbeat.set()
+            # Wedged: hold the lease, answer nothing.  The coordinator's
+            # heartbeat sweep must reclaim it; the test harness reaps this
+            # process afterwards.
+            time.sleep(3600.0)
+            sys.exit(1)
+
+    def _send_truncated_result(self, task_id: int, result: Any) -> None:
+        frame = wire.encode_frame(("result", {"task_id": task_id,
+                                              "payload": result}))
+        with self._send_lock:
+            self._sock.sendall(frame[:max(1, len(frame) // 2)])
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+        sys.exit(1)
+
+    # -- the loop -------------------------------------------------------
+    def run(self) -> int:
+        """Serve the coordinator until shutdown; returns an exit code."""
+        self._sock = socket.create_connection(self.address, timeout=30.0)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Individual reads block at most this long; the coordinator's idle
+        # replies keep the stream active, so a long silence means it died.
+        self._sock.settimeout(300.0)
+        try:
+            self._send(("hello", {"version": wire.WIRE_VERSION,
+                                  "pid": os.getpid()}))
+            kind, body = wire.recv_frame(self._sock)
+            if kind != "welcome":
+                return 1
+            self.worker_id = body["worker_id"]
+            heartbeat = threading.Thread(target=self._heartbeat_loop,
+                                         name="worker-heartbeat",
+                                         daemon=True)
+            heartbeat.start()
+            while True:
+                self._send(("request", {}))
+                kind, body = wire.recv_frame(self._sock)
+                if kind == "shutdown":
+                    return 0
+                if kind == "idle":
+                    time.sleep(0.05)
+                    continue
+                if kind != "task":
+                    return 1
+                task_id = body["task_id"]
+                self._inject_on_task(task_id)
+                try:
+                    result = execute_task(body["kind"], body["payload"])
+                except Exception as exc:
+                    self._send(("failed", {"task_id": task_id,
+                                           "error": f"{type(exc).__name__}: "
+                                                    f"{exc}"}))
+                    continue
+                if self.fault == "drop-mid-frame":
+                    self._send_truncated_result(task_id, result)
+                try:
+                    self._send(("result", {"task_id": task_id,
+                                           "payload": result}))
+                except wire.FrameTooLarge as exc:
+                    # Local encode failure: the socket is untouched and
+                    # this worker is healthy — report the task failed
+                    # instead of dying over a payload no worker could
+                    # frame either.
+                    self._send(("failed", {
+                        "task_id": task_id,
+                        "error": f"result cannot be framed: {exc}"}))
+                    continue
+                self.tasks_done += 1
+        except (OSError, wire.WireError):
+            # Coordinator gone (or tore us down): exit quietly.
+            return 0
+        finally:
+            self._stop_heartbeat.set()
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec.worker",
+        description="Kizzle cluster worker: connect to a coordinator and "
+                    "execute leased map tasks")
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address to register with")
+    parser.add_argument("--heartbeat-interval", type=float, default=2.0,
+                        help="seconds between heartbeat frames (keep well "
+                             "under the coordinator's heartbeat timeout)")
+    parser.add_argument("--fault", choices=FAULTS, default=None,
+                        help="arm one fault-injection behaviour "
+                             "(test harness only)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    worker = Worker(parse_address(args.connect),
+                    heartbeat_interval=args.heartbeat_interval,
+                    fault=args.fault)
+    return worker.run()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a subprocess
+    sys.exit(main())

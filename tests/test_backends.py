@@ -63,11 +63,40 @@ class TestBackendConfig:
         assert resolved.seed == 3
 
     def test_factory_returns_each_kind(self):
-        kinds = {kind: type(create_backend(BackendConfig(kind=kind)))
-                 for kind in BACKEND_KINDS}
-        assert kinds == {"serial": SerialBackend,
-                         "process": ProcessBackend,
-                         "distsim": DistsimBackend}
+        from repro.exec.cluster import ClusterBackend
+
+        backends = {kind: create_backend(BackendConfig(kind=kind))
+                    for kind in BACKEND_KINDS}
+        try:
+            assert {kind: type(b) for kind, b in backends.items()} == {
+                "serial": SerialBackend,
+                "process": ProcessBackend,
+                "distsim": DistsimBackend,
+                "cluster": ClusterBackend}
+        finally:
+            for backend in backends.values():
+                backend.close()
+
+    def test_cluster_config_validation(self):
+        with pytest.raises(ValueError):
+            BackendConfig(kind="cluster", spawn_workers=-1)
+        with pytest.raises(ValueError):
+            BackendConfig(kind="cluster", heartbeat_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            BackendConfig(kind="cluster", task_deadline_s=-1.0)
+        with pytest.raises(ValueError):
+            BackendConfig(kind="cluster", max_task_retries=-1)
+
+    def test_resolved_preserves_cluster_fields(self):
+        config = BackendConfig(kind="cluster", listen="0.0.0.0:7777",
+                               spawn_workers=3, task_deadline_s=5.0,
+                               heartbeat_timeout_s=2.0, max_task_retries=1)
+        resolved = config.resolved(machines=50, workers=4, seed=7)
+        assert resolved.listen == "0.0.0.0:7777"
+        assert resolved.spawn_workers == 3
+        assert resolved.task_deadline_s == 5.0
+        assert resolved.heartbeat_timeout_s == 2.0
+        assert resolved.max_task_retries == 1
 
     def test_serial_backend_forces_single_worker_engine(self):
         backend = create_backend(BackendConfig(kind="serial"))
@@ -88,12 +117,16 @@ class TestBackendConfig:
         configured value on every backend kind, not from the substrate."""
         from repro.clustering.partition import DistributedClusterer
 
-        counts = {
-            kind: DistributedClusterer(
-                backend=create_backend(
-                    BackendConfig(kind=kind, machines=10))).machines
-            for kind in BACKEND_KINDS}
-        assert counts == {"serial": 10, "process": 10, "distsim": 10}
+        backends = {kind: create_backend(BackendConfig(kind=kind,
+                                                       machines=10))
+                    for kind in BACKEND_KINDS}
+        try:
+            counts = {kind: DistributedClusterer(backend=backend).machines
+                      for kind, backend in backends.items()}
+            assert counts == {kind: 10 for kind in BACKEND_KINDS}
+        finally:
+            for backend in backends.values():
+                backend.close()
 
     def test_zero_cost_stage_charges_nothing(self):
         """A stage that did no work must not bill scheduler startup
@@ -302,38 +335,60 @@ def _generator():
         seed=20140801))
 
 
-def _run_stream(backend_kind, incremental, days=3, distance=None):
-    """Process ``days`` seeded days; return (labels, fp/fn, signatures)."""
+def _run_stream(backend_kind, incremental, days=3, distance=None,
+                partitions=None, backend_overrides=None, telemetry=None):
+    """Process ``days`` seeded days; return (labels, fp/fn, signatures).
+
+    ``backend_overrides`` feeds extra :class:`BackendConfig` fields (the
+    cluster runs pass ``spawn_workers``); a ``telemetry`` dict, when given,
+    receives the cluster backend's engagement counters before teardown.
+    """
     generator = _generator()
     config = KizzleConfig(
-        machines=6, min_points=3,
+        machines=6, min_points=3, partitions=partitions,
         distance=distance or DistanceEngineConfig(),
         incremental=IncrementalConfig(enabled=incremental),
-        backend=BackendConfig(kind=backend_kind))
+        backend=BackendConfig(kind=backend_kind, **(backend_overrides or {})))
     kizzle = Kizzle(config)
-    for kit in KITS:
-        kizzle.seed_known_kit(
-            kit, [generator.reference_core(kit, D(2014, 7, 31))])
-    day_labels, day_fpfn = [], []
-    for offset in range(days):
-        date = D(2014, 8, 1) + datetime.timedelta(days=offset)
-        batch = generator.generate_day(date)
-        result = kizzle.process_day(
-            [(s.sample_id, s.content) for s in batch.samples], date)
-        assert result.backend == backend_kind
-        day_labels.append(sorted(
-            (tuple(sorted(sample.sample_id
-                          for sample in report.cluster.samples)),
-             report.kit)
-            for report in result.clusters))
-        false_positives = sum(
-            1 for sample in batch.benign
-            if kizzle.detects(sample.content, as_of=date))
-        false_negatives = sum(
-            1 for sample in batch.malicious
-            if not kizzle.detects(sample.content, as_of=date))
-        day_fpfn.append((false_positives, false_negatives))
-    signatures = [(s.kit, s.created, s.pattern) for s in kizzle.database]
+    if backend_kind == "cluster":
+        # Pre-tokenized (warm) partitions are tiny here; drop the worth-it
+        # threshold so the map still ships to the workers.
+        kizzle.clusterer.pooled_partition_min = 1
+    try:
+        for kit in KITS:
+            kizzle.seed_known_kit(
+                kit, [generator.reference_core(kit, D(2014, 7, 31))])
+        day_labels, day_fpfn = [], []
+        for offset in range(days):
+            date = D(2014, 8, 1) + datetime.timedelta(days=offset)
+            batch = generator.generate_day(date)
+            result = kizzle.process_day(
+                [(s.sample_id, s.content) for s in batch.samples], date)
+            assert result.backend == backend_kind
+            day_labels.append(sorted(
+                (tuple(sorted(sample.sample_id
+                              for sample in report.cluster.samples)),
+                 report.kit)
+                for report in result.clusters))
+            false_positives = sum(
+                1 for sample in batch.benign
+                if kizzle.detects(sample.content, as_of=date))
+            false_negatives = sum(
+                1 for sample in batch.malicious
+                if not kizzle.detects(sample.content, as_of=date))
+            day_fpfn.append((false_positives, false_negatives))
+        signatures = [(s.kit, s.created, s.pattern) for s in kizzle.database]
+        if telemetry is not None and backend_kind == "cluster":
+            telemetry["remote_tasks"] = kizzle.backend.remote_task_count
+            telemetry["redispatch"] = kizzle.backend.redispatch_count
+            telemetry["tasks_by_worker"] = \
+                dict(kizzle.backend.coordinator.tasks_by_worker)
+            telemetry["worker_stats"] = {
+                worker: stats.as_dict()
+                for worker, stats in
+                kizzle.clusterer.engine.remote_worker_stats.items()}
+    finally:
+        kizzle.close()
     return day_labels, day_fpfn, signatures
 
 
@@ -365,6 +420,44 @@ class TestBackendEquivalence:
             else:
                 assert result == reference, \
                     f"workers={workers} diverged from workers=1"
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("incremental", [False, True],
+                             ids=["cold", "warm"])
+    def test_cluster_backend_byte_identical(self, incremental):
+        """The multi-machine backend joins the identity matrix: two real
+        localhost worker subprocesses, same labels/FP-FN/signatures as the
+        serial reference — and the tasks demonstrably ran remotely (the
+        engagement counters rule out a silent serial fallback)."""
+        reference = _run_stream("serial", incremental, partitions=4)
+        telemetry = {}
+        labels, fpfn, signatures = _run_stream(
+            "cluster", incremental, partitions=4,
+            backend_overrides=dict(spawn_workers=2, heartbeat_timeout_s=4.0),
+            telemetry=telemetry)
+        assert labels == reference[0], "cluster labels diverged"
+        assert fpfn == reference[1], "cluster FP/FN diverged"
+        assert signatures == reference[2], "cluster signatures diverged"
+        assert telemetry["remote_tasks"] > 0, \
+            "no task executed remotely - the cluster silently fell back " \
+            "to inline execution"
+        assert sum(telemetry["tasks_by_worker"].values()) == \
+            telemetry["remote_tasks"]
+
+    @pytest.mark.slow
+    def test_cluster_remote_stats_attributed_per_worker(self):
+        """Each accepted remote result attributes its distance-engine work
+        to the worker that produced it (cold path: lexing + DBSCAN ran in
+        the workers, so every contributing worker shows engine activity)."""
+        telemetry = {}
+        _run_stream("cluster", incremental=False, days=2, partitions=4,
+                    backend_overrides=dict(spawn_workers=2,
+                                           heartbeat_timeout_s=4.0),
+                    telemetry=telemetry)
+        worker_stats = telemetry["worker_stats"]
+        assert worker_stats, "no per-worker stats were attributed"
+        assert set(worker_stats) == set(telemetry["tasks_by_worker"])
+        assert sum(stats["pairs"] for stats in worker_stats.values()) > 0
 
     def test_pool_path_actually_engaged(self):
         """The forced-parallel configuration must exercise the executor,

@@ -90,6 +90,40 @@ class TestPerStageSeries:
         self._artifact(tmp_path, "2026-01-02", 10.0, {"wall_shed_s": 0.04})
         assert check_regression.main([str(tmp_path)]) == 0
 
+    def test_component_walls_and_counts_become_series(self, tmp_path):
+        """The cluster benchmark's extra metrics gate alongside the stage
+        walls: ``*_wall_s`` component clocks and ``*_count`` behavioural
+        counters each get their own named series."""
+        path = self._artifact(tmp_path, "2026-01-01", 10.0,
+                              {"cluster_map_wall_s": 2.5,
+                               "cluster_redispatch_count": 1,
+                               "workers": 2, "is_cold": True})
+        series = check_regression.load_benchmarks(path)
+        assert series["paper_day[cluster_map_wall_s]"] == 2.5
+        assert series["paper_day[cluster_redispatch_count]"] == 1.0
+        # Plain numeric extra info and booleans still are not gated.
+        assert "paper_day[workers]" not in series
+        assert "paper_day[is_cold]" not in series
+
+    def test_redispatch_count_regression_fails_gate(self, tmp_path):
+        """Workers being declared dead far more often than the baseline is
+        a regression even when the wall clock hides it."""
+        self._artifact(tmp_path, "2026-01-01", 10.0,
+                       {"cluster_redispatch_count": 8})
+        self._artifact(tmp_path, "2026-01-02", 10.0,
+                       {"cluster_redispatch_count": 16})
+        assert check_regression.main([str(tmp_path)]) == 1
+
+    def test_single_digit_count_flutter_not_gated(self, tmp_path):
+        """A timing-dependent counter fluttering 1 -> 2 (+100%) on a loaded
+        runner is noise, not a regression: counters use the
+        MIN_GATED_COUNT floor, not the seconds floor."""
+        self._artifact(tmp_path, "2026-01-01", 10.0,
+                       {"cluster_redispatch_count": 1})
+        self._artifact(tmp_path, "2026-01-02", 10.0,
+                       {"cluster_redispatch_count": 2})
+        assert check_regression.main([str(tmp_path)]) == 0
+
 
 class TestArtifactSelection:
     """Naming and recency of BENCH artifacts (the same-day baseline-loss
@@ -211,3 +245,46 @@ class TestMain:
         assert check_regression.main([str(tmp_path)]) == 0
         self._write_artifact(tmp_path, "2026-01-01_11", {"a": 3.0})
         assert check_regression.main([str(tmp_path)]) == 1
+
+
+class TestHistoryDirectory:
+    """Artifacts live in a managed ``bench_history/`` directory, not loose
+    at the repo root."""
+
+    def _write_artifact(self, root, name, benchmarks):
+        TestMain._write_artifact(self, root, name, benchmarks)
+
+    def test_history_root_creates_on_demand(self, tmp_path):
+        history = check_regression.history_root(tmp_path)
+        assert history == tmp_path / "bench_history"
+        assert not history.exists()
+        assert check_regression.history_root(tmp_path, create=True).is_dir()
+
+    def test_main_descends_into_bench_history(self, tmp_path):
+        """Given a repo root whose artifacts sit in bench_history/, the
+        gate compares those — a regression there must fail."""
+        history = check_regression.history_root(tmp_path, create=True)
+        self._write_artifact(history, "2026-01-01", {"a": 1.0})
+        self._write_artifact(history, "2026-01-02", {"a": 2.0})
+        assert check_regression.main([str(tmp_path)]) == 1
+
+    def test_direct_artifact_dir_wins_over_subdirectory(self, tmp_path):
+        """A directory holding BENCH files directly (CI's staged history)
+        is used as-is, even if it happens to contain a bench_history/."""
+        (tmp_path / "bench_history").mkdir()
+        self._write_artifact(tmp_path / "bench_history", "2026-01-01",
+                             {"a": 1.0})
+        self._write_artifact(tmp_path, "2026-01-01", {"a": 1.0})
+        self._write_artifact(tmp_path, "2026-01-02", {"a": 5.0})
+        assert check_regression.resolve_artifact_dir(tmp_path) == tmp_path
+        assert check_regression.main([str(tmp_path)]) == 1
+
+    def test_legacy_root_layout_still_compares(self, tmp_path):
+        """Pre-migration layouts (artifacts loose at the root, no
+        bench_history/) keep gating."""
+        self._write_artifact(tmp_path, "2026-01-01", {"a": 1.0})
+        self._write_artifact(tmp_path, "2026-01-02", {"a": 2.0})
+        assert check_regression.main([str(tmp_path)]) == 1
+
+    def test_empty_root_without_history_passes(self, tmp_path):
+        assert check_regression.main([str(tmp_path)]) == 0

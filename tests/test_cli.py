@@ -79,10 +79,31 @@ class TestCommands:
     def test_backend_flag_parsed(self):
         assert build_parser().parse_args(
             ["process-day"]).backend == "distsim"
-        for kind in ("serial", "process", "distsim"):
+        for kind in ("serial", "process", "distsim", "cluster"):
             args = build_parser().parse_args(
                 ["--backend", kind, "process-day"])
             assert args.backend == kind
+
+    def test_cluster_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["--backend", "cluster", "--listen", "0.0.0.0:9200",
+             "--spawn-workers", "3", "process-day"])
+        assert args.listen == "0.0.0.0:9200"
+        assert args.spawn_workers == 3
+        # Defaults: OS-assigned loopback port, two local workers.
+        defaults = build_parser().parse_args(["process-day"])
+        assert defaults.listen is None
+        assert defaults.spawn_workers == 2
+
+    def test_spawn_workers_only_apply_to_cluster_backend(self):
+        from repro.cli import _backend_config
+
+        args = build_parser().parse_args(
+            ["--backend", "distsim", "process-day"])
+        assert _backend_config(args).spawn_workers == 0
+        args = build_parser().parse_args(
+            ["--backend", "cluster", "process-day"])
+        assert _backend_config(args).spawn_workers == 2
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(SystemExit):
@@ -106,3 +127,20 @@ class TestCommands:
                 line for line in output.splitlines()
                 if "backend=" not in line))
         assert outputs[0] == outputs[1]
+
+    @pytest.mark.slow
+    def test_process_day_cluster_backend_end_to_end(self):
+        """`--backend cluster` spawns its two localhost workers, runs the
+        day on them, and reaps them on exit — same clusters as serial."""
+        code, serial_output = run_cli(
+            SMALL_STREAM + ["--backend", "serial", "process-day",
+                            "--date", "2014-08-05"])
+        assert code == 0
+        code, output = run_cli(
+            SMALL_STREAM + ["--backend", "cluster", "process-day",
+                            "--date", "2014-08-05"])
+        assert code == 0
+        assert "backend=cluster" in output
+        strip = lambda text: "\n".join(  # noqa: E731 - local one-liner
+            line for line in text.splitlines() if "backend=" not in line)
+        assert strip(output) == strip(serial_output)
