@@ -112,6 +112,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "subprocesses launched automatically "
                              "(default 2; 0 = wait for external workers "
                              "to --connect)")
+    parser.add_argument("--cluster-secret", default=None, metavar="SECRET",
+                        help="with --backend cluster: shared wire secret — "
+                             "every coordinator/worker frame is "
+                             "HMAC-authenticated under it and unauthorized "
+                             "peers are rejected before payload decode "
+                             "(default: the REPRO_CLUSTER_SECRET "
+                             "environment variable; unset = integrity "
+                             "checking only, for single-host development)")
+    parser.add_argument("--affinity",
+                        action=argparse.BooleanOptionalAction, default=True,
+                        help="with --backend cluster: lease repeat "
+                             "partitions back to the worker that served "
+                             "them last and ship those leases with tokens "
+                             "stripped (the worker's persistent caches "
+                             "re-derive them); purely a warm-path "
+                             "optimization — results are byte-identical "
+                             "with --no-affinity")
     parser.add_argument("--machines", type=int, default=10,
                         help="logical machine count, wired through the "
                              "backend config: sets the clustering "
@@ -217,7 +234,9 @@ def _backend_config(args: argparse.Namespace) -> BackendConfig:
                          partition_parallel=args.partition_parallel,
                          listen=args.listen,
                          spawn_workers=args.spawn_workers
-                         if args.backend == "cluster" else 0)
+                         if args.backend == "cluster" else 0,
+                         secret=args.cluster_secret,
+                         affinity=args.affinity)
 
 
 def _kizzle_config(args: argparse.Namespace) -> KizzleConfig:

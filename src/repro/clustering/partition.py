@@ -24,6 +24,7 @@ from repro.distsim.mapreduce import MapReduceReport, SimCluster
 from repro.jstoken.normalizer import abstract_token_string
 
 if TYPE_CHECKING:
+    from repro.core.prepared import PreparedCache
     from repro.exec.backend import ExecutionBackend
 
 
@@ -207,24 +208,45 @@ class PartitionMapTask:
         return DistanceEngine(replace(self.engine_config, workers=1,
                                       shared_cache=False))
 
-    def run(self) -> PartitionMapResult:
+    def run(self, engine: Optional[DistanceEngine] = None,
+            prepared: Optional["PreparedCache"] = None) -> PartitionMapResult:
+        """Execute the map.  ``engine`` optionally supplies a caller-built
+        engine (cluster workers pass one wrapping their persistent distance
+        cache); ``prepared`` optionally supplies a tokenization cache —
+        samples shipped without tokens (slim warm-affinity leases) re-derive
+        them through it, and samples shipped with tokens seed it for the
+        next day.  Tokens are a pure function of content either way, so
+        every combination of arguments produces byte-identical results.
+        """
         from repro.exec.process import chunk_seed
 
         random.seed(chunk_seed(self.seed, self.index))
-        engine = self.worker_engine()
+        if engine is None:
+            engine = self.worker_engine()
         # Tokenization is part of the map (the paper's per-machine work):
         # partitions arrive raw from a cold start and prepared from the
         # warm path's cache, and either way the tokenized forms feed both
         # DBSCAN below and the cost accounting.
-        prepared = [sample.ensure_tokens() for sample in self.samples]
+        if prepared is None:
+            ready = [sample.ensure_tokens() for sample in self.samples]
+        else:
+            ready = []
+            for sample in self.samples:
+                if sample.tokens:
+                    prepared.seed_abstract(sample.content, sample.tokens)
+                    ready.append(sample)
+                else:
+                    ready.append(replace(
+                        sample,
+                        tokens=prepared.abstract_tokens(sample.content)))
         clusters, comparisons = cluster_partition(
-            prepared, epsilon=self.epsilon, min_points=self.min_points,
+            ready, epsilon=self.epsilon, min_points=self.min_points,
             engine=engine)
         return PartitionMapResult(
             index=self.index,
             clusters=clusters,
             comparisons=comparisons,
-            cost=partition_map_cost(prepared, comparisons, self.epsilon),
+            cost=partition_map_cost(ready, comparisons, self.epsilon),
             output_bytes=float(sum(len(cluster.prototype.content)
                                    for cluster in clusters)),
             stats=engine.stats.as_dict(),

@@ -89,6 +89,18 @@ class BackendConfig:
         Cluster backend only: per-lease execution deadline, maximum worker
         silence before it is declared dead, and the re-dispatch budget per
         task (see :class:`~repro.exec.cluster.ClusterCoordinator`).
+    secret:
+        Cluster backend only: shared wire secret — every frame between
+        coordinator and workers is HMAC-authenticated under it and peers
+        that cannot tag correctly are rejected before payload decode.
+        ``None`` falls back to the ``REPRO_CLUSTER_SECRET`` environment
+        variable; with neither set the wire still integrity-checks frames
+        under a public default key (single-host development mode).
+    affinity:
+        Cluster backend only: prefer re-leasing repeat partitions to the
+        worker that served them last and ship such leases token-stripped
+        (the worker's persistent caches re-derive them).  Purely a
+        warm-path optimization — results are byte-identical either way.
     """
 
     kind: str = "distsim"
@@ -101,6 +113,8 @@ class BackendConfig:
     task_deadline_s: float = 60.0
     heartbeat_timeout_s: float = 10.0
     max_task_retries: int = 3
+    secret: Optional[str] = None
+    affinity: bool = True
 
     def __post_init__(self) -> None:
         if self.kind not in BACKEND_KINDS:
@@ -131,7 +145,9 @@ class BackendConfig:
             spawn_workers=self.spawn_workers,
             task_deadline_s=self.task_deadline_s,
             heartbeat_timeout_s=self.heartbeat_timeout_s,
-            max_task_retries=self.max_task_retries)
+            max_task_retries=self.max_task_retries,
+            secret=self.secret,
+            affinity=self.affinity)
 
 
 class ExecutionBackend(abc.ABC):

@@ -11,8 +11,23 @@ coordinator behind the ordinary
 :class:`~repro.exec.backend.ExecutionBackend` interface, so the pipeline
 drives a real cluster through exactly the seam the process backend uses.
 
-Failure model
--------------
+Trust model
+-----------
+Every frame on the wire is HMAC-authenticated under a shared secret
+(``--cluster-secret`` / ``REPRO_CLUSTER_SECRET``) and carries a
+per-connection monotonic sequence number; payloads decode through an
+allow-listed, pickle-free codec (:mod:`repro.exec.wire`).  All three
+checks run at one boundary *before* any payload is interpreted, so a
+hostile peer — or a compromised worker — can tamper, replay, or ship a
+code-executing pickle and get nothing but a typed rejection
+(:class:`~repro.exec.wire.AuthError` /
+:class:`~repro.exec.wire.ReplayError` /
+:class:`~repro.exec.wire.ForbiddenPayload`), a dropped connection, and
+its lease re-dispatched to a surviving worker.  The coordinator counts
+each rejection kind in :attr:`ClusterCoordinator.reject_counts`.
+
+Failure and membership model
+----------------------------
 Workers lease one task at a time (pull model) and are monitored two ways:
 a *heartbeat* timeout (any frame from the worker counts as liveness; the
 worker also sends explicit heartbeats while computing) and a *per-task
@@ -23,10 +38,32 @@ worker recorded in the task's *exclusion list* and its attempt counter
 bumped.  A task that exhausts ``max_task_retries`` re-dispatches fails the
 whole submission (:class:`ClusterError`) rather than silently degrading.
 
+The fleet is *elastic*: workers may register at any time — including in
+the middle of a map, where a late joiner immediately folds into the lease
+pool — and leave gracefully: a SIGTERM'd worker finishes its current
+lease, returns the result, sends ``goodbye`` and exits, never tripping
+the re-dispatch path.  ``min_workers`` gates only the *initial* fleet
+assembly; a fleet that later shrinks below it keeps running, loudly
+(``repro.exec.cluster`` logger) but correctly.
+
+Warmth
+------
+The coordinator remembers which worker last served each partition
+(:attr:`ClusterCoordinator._affinity`) and, when that worker asks for
+work again, prefers re-leasing it the same partition — and ships the
+task *slim*, with token strings stripped, because the worker's persistent
+:class:`~repro.core.prepared.PreparedCache` (keyed by the coordinator's
+``cache_epoch``) already holds yesterday's tokenizations.  Affinity is a
+hint, never a constraint: any worker can take any task, re-dispatch
+ignores affinity entirely, and a stripped task re-derives its tokens
+deterministically, so results are byte-identical with affinity on, off,
+or mid-churn.  :attr:`task_bytes_sent` / :attr:`tokens_stripped_chars`
+quantify the shipping saved.
+
 Determinism: task identity — not worker identity — carries the RNG seed
 (``PartitionMapTask.run`` seeds from ``(seed, partition_index)``, pair
 chunks from ``(seed, chunk_index)``), and results are merged in task order
-regardless of completion order, so any worker count, placement, or
+regardless of completion order, so any worker count, placement, churn, or
 mid-map re-dispatch is byte-identical to inline execution.  Effects are
 at-most-once *observable*: a re-dispatched task may execute twice, but the
 coordinator accepts only the result of the live lease and drops late
@@ -36,6 +73,7 @@ no side effects.
 
 from __future__ import annotations
 
+import logging
 import os
 import socket
 import subprocess
@@ -50,8 +88,14 @@ from repro.exec import wire
 from repro.exec.backend import BackendConfig, InlineBackend
 from repro.exec.process import PairDecision, SerialPairExecutor, decide_chunk
 
+logger = logging.getLogger("repro.exec.cluster")
+
 #: Default coordinator bind address: loopback, OS-assigned port.
 DEFAULT_LISTEN = "127.0.0.1:0"
+
+#: Environment variable carrying the shared wire secret (the CLI's
+#: ``--cluster-secret`` overrides it; worker subprocesses inherit it).
+SECRET_ENV = "REPRO_CLUSTER_SECRET"
 
 
 class ClusterError(RuntimeError):
@@ -85,22 +129,66 @@ class PairChunkLease:
     seed: int
 
 
-def run_pair_lease(lease: PairChunkLease
+def run_pair_lease(lease: PairChunkLease, cache: Any = None
                    ) -> List[Tuple[int, List[PairDecision], Dict[str, int]]]:
     """Execute one pair lease (worker side).
 
     Profiles are shared across the lease's chunks — a pure cache, so
     grouping has no observable effect — and each chunk re-seeds its RNG
     from its own index exactly as the serial and process executors do.
+    ``cache`` optionally supplies the worker's persistent exact-distance
+    cache (:class:`~repro.distance.engine.PairDistanceCache`): hits skip
+    the kernel, and because the cache is exact and content-addressed the
+    decisions are byte-identical with or without it.
     """
     profiles: Dict[int, Any] = {}
     out = []
     for index, chunk in lease.chunks:
         decisions, stats = decide_chunk(lease.points, profiles,
                                         (index, chunk), lease.epsilon,
-                                        lease.config, lease.seed)
+                                        lease.config, lease.seed,
+                                        cache=cache)
         out.append((index, decisions, stats))
     return out
+
+
+def affinity_key(kind: str, payload: Any) -> Optional[Tuple[str, int]]:
+    """The warmth key a task leases under: partition index for map tasks,
+    leading chunk index for pair leases (``None`` when a payload carries
+    no stable identity).  Keys repeat day over day — partition counts are
+    pinned by configuration — which is exactly what makes yesterday's
+    server a good place to lease today's same-numbered partition."""
+    if kind == "partition_map":
+        index = getattr(payload, "index", None)
+        if index is not None:
+            return ("pm", index)
+    elif kind == "pair_chunks":
+        chunks = getattr(payload, "chunks", None)
+        if chunks:
+            return ("pc", chunks[0][0])
+    return None
+
+
+def strip_tokens(task: Any) -> Tuple[Any, int]:
+    """A copy of a ``PartitionMapTask`` with sample token strings removed.
+
+    Returns ``(slim_task, stripped_chars)``; the original task when there
+    is nothing to strip.  Tokens are a pure function of content
+    (re-derived by the worker's prepared cache, or the lexer on a miss),
+    so a stripped task runs byte-identical to a full one.
+    """
+    samples = getattr(task, "samples", None)
+    if not samples or not any(sample.tokens for sample in samples):
+        return task, 0
+    stripped_chars = 0
+    slim_samples = []
+    for sample in samples:
+        if sample.tokens:
+            stripped_chars += sum(len(token) + 1 for token in sample.tokens)
+            slim_samples.append(replace(sample, tokens=()))
+        else:
+            slim_samples.append(sample)
+    return replace(task, samples=slim_samples), stripped_chars
 
 
 # ----------------------------------------------------------------------
@@ -113,6 +201,7 @@ class _TaskState:
     task_id: int
     kind: str
     payload: Any
+    affinity: Optional[Tuple[str, int]] = None
     attempts: int = 0
     excluded: set = field(default_factory=set)
     lease_worker: Optional[str] = None
@@ -127,20 +216,23 @@ class _WorkerConn:
     """Coordinator-side state of one connected worker."""
 
     def __init__(self, worker_id: str, conn: socket.socket,
-                 address: Tuple[str, int], pid: Optional[int]) -> None:
+                 address: Tuple[str, int], pid: Optional[int],
+                 codec: wire.FrameCodec) -> None:
         self.worker_id = worker_id
         self.conn = conn
         self.address = address
         self.pid = pid
+        self.codec = codec
         self.last_seen = time.monotonic()
         self.batch_tasks = 0   # tasks leased in the current submission
         self.tasks_done = 0
         self.send_lock = threading.Lock()
         self.alive = True
 
-    def send(self, payload: Any) -> None:
+    def send(self, payload: Any) -> int:
+        """Frame-and-send under the send lock; returns bytes written."""
         with self.send_lock:
-            wire.send_frame(self.conn, payload)
+            return self.codec.send(self.conn, payload)
 
     def kill_connection(self) -> None:
         """Tear the socket down; unblocks the handler thread's recv."""
@@ -175,21 +267,37 @@ class ClusterCoordinator:
         Workers the *initial* fleet must reach before the first lease is
         handed out.  Once that many have registered at least once, later
         submissions only require a single live worker — a fleet shrunk by
-        failures must keep making progress (losing machines mid-run is
-        exactly what the re-dispatch path is for).
+        failures or graceful departures keeps making progress, with a
+        loud degradation warning on the module logger.
     worker_wait_s:
         How long :meth:`submit` waits for ``min_workers`` to arrive.
+    secret:
+        Shared wire secret: every frame either way is HMAC'd under it and
+        a peer that cannot produce valid tags never registers, let alone
+        leases work.  ``None`` falls back to the public default key
+        (integrity checking only — single-host development mode).
+    affinity:
+        Prefer re-leasing a partition to the worker that served it last,
+        and ship such leases with token strings stripped (the worker's
+        epoch-keyed caches re-derive them).  A pure optimization: off by
+        flag, results are byte-identical either way.
     """
 
     #: Monitor thread poll interval (heartbeat/deadline sweep).
     MONITOR_INTERVAL = 0.1
+
+    #: How long :meth:`close` waits on each service thread before
+    #: declaring it leaked (loud warning, but shutdown proceeds).
+    CLOSE_JOIN_TIMEOUT = 2.0
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  task_deadline_s: float = 60.0,
                  heartbeat_timeout_s: float = 10.0,
                  max_task_retries: int = 3,
                  min_workers: int = 1,
-                 worker_wait_s: float = 30.0) -> None:
+                 worker_wait_s: float = 30.0,
+                 secret: Optional[str] = None,
+                 affinity: bool = True) -> None:
         if task_deadline_s <= 0 or heartbeat_timeout_s <= 0:
             raise ValueError("deadlines must be positive")
         if max_task_retries < 0:
@@ -201,6 +309,8 @@ class ClusterCoordinator:
         self.max_task_retries = max_task_retries
         self.min_workers = min_workers
         self.worker_wait_s = worker_wait_s
+        self.secret = secret
+        self.affinity = affinity
 
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -218,6 +328,14 @@ class ClusterCoordinator:
         self._closed = False
         self._submit_lock = threading.Lock()
         self._threads: List[threading.Thread] = []
+        #: warmth key -> worker that last completed a task under it.
+        self._affinity: Dict[Tuple[str, int], str] = {}
+
+        #: Epoch the worker-side persistent caches are keyed by; issued in
+        #: the welcome and in every lease.  Constant for this coordinator's
+        #: lifetime unless :meth:`bump_cache_epoch` invalidates the fleet's
+        #: caches (e.g. after a configuration change).
+        self.cache_epoch = 1
 
         #: Tasks whose lease was torn down and re-queued (the fault
         #: tests and the nightly benchmark assert on this).
@@ -228,6 +346,18 @@ class ClusterCoordinator:
         self.tasks_by_worker: Dict[str, int] = {}
         #: Workers that ever completed registration.
         self.workers_seen = 0
+        #: Workers that said ``goodbye`` (graceful SIGTERM drains).
+        self.graceful_departures = 0
+        #: Typed wire rejections, counted before any payload decode.
+        self.reject_counts: Dict[str, int] = {
+            "auth": 0, "replay": 0, "forbidden": 0}
+        #: Total encoded bytes of ``task`` frames sent to workers.
+        self.task_bytes_sent = 0
+        #: Token characters not shipped thanks to warm-affinity leases.
+        self.tokens_stripped_chars = 0
+        #: Leases shipped slim (token-stripped) vs full.
+        self.slim_leases = 0
+        self.full_leases = 0
 
         self._started = False
 
@@ -246,7 +376,9 @@ class ClusterCoordinator:
 
     def close(self) -> None:
         """Drain and shut down: tell workers to exit, drop connections,
-        stop the service threads.  Idempotent."""
+        stop the service threads.  Idempotent.  Threads that fail to join
+        within :attr:`CLOSE_JOIN_TIMEOUT` are reported loudly (and in the
+        backend tests, assertively) rather than silently abandoned."""
         with self._state:
             if self._closed:
                 return
@@ -271,7 +403,29 @@ class ClusterCoordinator:
         except OSError:
             pass
         for thread in self._threads:
-            thread.join(timeout=2.0)
+            thread.join(timeout=self.CLOSE_JOIN_TIMEOUT)
+        leaked = self.leaked_threads()
+        if leaked:
+            logger.warning(
+                "coordinator close() leaked %d thread(s) still alive after "
+                "the %.1fs join window: %s — shutdown proceeds, but this "
+                "indicates a stuck connection handler or monitor",
+                len(leaked), self.CLOSE_JOIN_TIMEOUT,
+                [thread.name for thread in leaked])
+
+    def leaked_threads(self) -> List[threading.Thread]:
+        """Service/handler threads still alive (expected empty once
+        :meth:`close` returns; the backend tests assert exactly that)."""
+        return [thread for thread in self._threads if thread.is_alive()]
+
+    def bump_cache_epoch(self) -> int:
+        """Invalidate every worker's persistent caches: the new epoch
+        rides the next lease each worker receives, and a worker that sees
+        an unfamiliar epoch wipes before executing."""
+        with self._state:
+            self.cache_epoch += 1
+            self._affinity.clear()
+            return self.cache_epoch
 
     @property
     def worker_count(self) -> int:
@@ -304,6 +458,10 @@ class ClusterCoordinator:
         or overall timeout — never hangs.  The default timeout scales with
         the batch: even one surviving worker grinding through every task
         serially, each near its per-lease deadline, stays within it.
+
+        Membership is sampled continuously, not at entry: a worker that
+        registers while the batch is in flight starts pulling leases on
+        its next request (mid-map joins contribute immediately).
         """
         if timeout is None:
             timeout = self.worker_wait_s + 30.0 + self.task_deadline_s * (
@@ -320,7 +478,8 @@ class ClusterCoordinator:
                 states = []
                 for payload in payloads:
                     state = _TaskState(task_id=self._next_task, kind=kind,
-                                       payload=payload)
+                                       payload=payload,
+                                       affinity=affinity_key(kind, payload))
                     self._next_task += 1
                     states.append(state)
                     self._pending.append(state)
@@ -375,9 +534,10 @@ class ClusterCoordinator:
     def _serve_worker(self, conn: socket.socket,
                       address: Tuple[str, int]) -> None:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        codec = wire.FrameCodec(self.secret)
         worker: Optional[_WorkerConn] = None
         try:
-            hello = wire.recv_frame(conn)
+            hello = codec.recv(conn)
             if not (isinstance(hello, tuple) and len(hello) == 2
                     and hello[0] == "hello" and isinstance(hello[1], dict)):
                 conn.close()
@@ -392,15 +552,19 @@ class ClusterCoordinator:
                     return
                 self._next_worker += 1
                 worker = _WorkerConn(f"w{self._next_worker}", conn, address,
-                                     info.get("pid"))
+                                     info.get("pid"), codec)
                 self._workers[worker.worker_id] = worker
                 self.workers_seen += 1
                 self._state.notify_all()
+            logger.info("worker %s registered from %s (pid %s); fleet=%d",
+                        worker.worker_id, address, info.get("pid"),
+                        self.worker_count)
             worker.send(("welcome", {
                 "worker_id": worker.worker_id,
-                "heartbeat_timeout_s": self.heartbeat_timeout_s}))
+                "heartbeat_timeout_s": self.heartbeat_timeout_s,
+                "epoch": self.cache_epoch}))
             while True:
-                message = wire.recv_frame(conn)
+                message = codec.recv(conn)
                 if not (isinstance(message, tuple) and len(message) == 2
                         and isinstance(message[1], dict)):
                     break  # protocol drift: drop the peer
@@ -415,8 +579,17 @@ class ClusterCoordinator:
                     self._handle_result(worker, body)
                 elif kind == "failed":
                     self._handle_failed(worker, body)
+                elif kind == "goodbye":
+                    self._handle_goodbye(worker)
+                    return
                 else:  # unknown frame kind: protocol drift, drop the peer
                     break
+        except wire.AuthError as exc:
+            self._record_reject("auth", worker, address, exc)
+        except wire.ReplayError as exc:
+            self._record_reject("replay", worker, address, exc)
+        except wire.ForbiddenPayload as exc:
+            self._record_reject("forbidden", worker, address, exc)
         except (wire.WireError, OSError):
             pass
         finally:
@@ -428,6 +601,17 @@ class ClusterCoordinator:
                 except OSError:
                     pass
 
+    def _record_reject(self, category: str, worker: Optional[_WorkerConn],
+                       address: Tuple[str, int], exc: Exception) -> None:
+        """Count and loudly log a typed wire rejection.  The frame never
+        reached payload decode; the connection is torn down by the
+        caller's ``finally`` (re-queueing any lease the peer held)."""
+        with self._state:
+            self.reject_counts[category] += 1
+        who = worker.worker_id if worker is not None else "unregistered peer"
+        logger.warning("rejected frame from %s at %s before decode "
+                       "(%s): %s", who, address, category, exc)
+
     def _handle_request(self, worker: _WorkerConn) -> None:
         with self._state:
             task = self._next_task_for(worker)
@@ -437,6 +621,7 @@ class ClusterCoordinator:
                 task.attempts += 1
                 self._leased[task.task_id] = task
                 worker.batch_tasks += 1
+                payload, stripped_chars = self._lease_payload(task, worker)
         if task is None:
             worker.send(("idle", {}))
             return
@@ -444,10 +629,18 @@ class ClusterCoordinator:
             # An OSError here means the connection is dead; the handler's
             # recv side hits the same error and _mark_dead re-queues the
             # lease.
-            worker.send(("task", {"task_id": task.task_id,
-                                  "kind": task.kind,
-                                  "payload": task.payload,
-                                  "deadline_s": self.task_deadline_s}))
+            sent = worker.send(("task", {"task_id": task.task_id,
+                                         "kind": task.kind,
+                                         "payload": payload,
+                                         "epoch": self.cache_epoch,
+                                         "deadline_s": self.task_deadline_s}))
+            with self._state:
+                self.task_bytes_sent += sent
+                if stripped_chars:
+                    self.tokens_stripped_chars += stripped_chars
+                    self.slim_leases += 1
+                else:
+                    self.full_leases += 1
         except wire.FrameTooLarge as exc:
             # Local encode failure: no byte hit the socket, the worker is
             # perfectly healthy, and every other worker would fail the
@@ -461,8 +654,21 @@ class ClusterCoordinator:
                     self._state.notify_all()
             worker.send(("idle", {}))
 
+    def _lease_payload(self, task: _TaskState,
+                       worker: _WorkerConn) -> Tuple[Any, int]:
+        """The payload to ship for a lease (lock held): slim — token
+        strings stripped — when this worker served the same partition
+        before in this epoch, full otherwise.  A slim ship is safe because
+        the worker's prepared cache (or, on a miss, the lexer) re-derives
+        the identical tokens from content."""
+        if (self.affinity and task.kind == "partition_map"
+                and task.affinity is not None
+                and self._affinity.get(task.affinity) == worker.worker_id):
+            return strip_tokens(task.payload)
+        return task.payload, 0
+
     def _next_task_for(self, worker: _WorkerConn) -> Optional[_TaskState]:
-        """Pop the first pending task this worker may run (lock held).
+        """Pop the first pending task this worker should run (lock held).
 
         First-lease fairness: while some *connected* workers have not
         received any task of the current batch, the last ``k`` pending
@@ -472,7 +678,13 @@ class ClusterCoordinator:
         first lease, which both spreads the map and makes the
         fault-injection tests deterministic (the faulty worker *will*
         hold a task when it dies).
-        """
+
+        Within the eligible tasks, warmth affinity orders the choice:
+        first a task this worker served last time (its caches are hot and
+        the lease ships slim), then a task with no live owner, then —
+        rather than ever idling a willing worker — any task at all.  A
+        pure preference: it changes which worker computes what, never
+        what is computed (results merge in task order)."""
         if not self._pending:
             return None
         unserved = sum(
@@ -480,11 +692,31 @@ class ClusterCoordinator:
             if other.batch_tasks == 0 and other.worker_id != worker.worker_id)
         if worker.batch_tasks > 0 and len(self._pending) <= unserved:
             return None
+        own: Optional[int] = None
+        unowned: Optional[int] = None
+        fallback: Optional[int] = None
         for index, task in enumerate(self._pending):
-            if worker.worker_id not in task.excluded:
-                del self._pending[index]
-                return task
-        return None
+            if worker.worker_id in task.excluded:
+                continue
+            if fallback is None:
+                fallback = index
+            if not self.affinity:
+                break  # affinity off: first eligible wins, as before
+            owner = (self._affinity.get(task.affinity)
+                     if task.affinity is not None else None)
+            if owner == worker.worker_id:
+                own = index
+                break
+            if unowned is None and (owner is None
+                                    or owner not in self._workers):
+                unowned = index
+        choice = own if own is not None else (
+            unowned if unowned is not None else fallback)
+        if choice is None:
+            return None
+        task = self._pending[choice]
+        del self._pending[choice]
+        return task
 
     def _handle_result(self, worker: _WorkerConn, body: Dict) -> None:
         task_id = body.get("task_id")
@@ -504,6 +736,8 @@ class ClusterCoordinator:
             self.remote_results += 1
             self.tasks_by_worker[worker.worker_id] = \
                 self.tasks_by_worker.get(worker.worker_id, 0) + 1
+            if task.affinity is not None:
+                self._affinity[task.affinity] = worker.worker_id
             self._state.notify_all()
 
     def _handle_failed(self, worker: _WorkerConn, body: Dict) -> None:
@@ -518,6 +752,31 @@ class ClusterCoordinator:
             self._requeue(task, worker.worker_id,
                           reason=body.get("error", "worker error"))
             self._state.notify_all()
+
+    def _handle_goodbye(self, worker: _WorkerConn) -> None:
+        """A graceful departure: the worker drained its lease (result
+        already accepted) and is leaving.  No re-dispatch, no exclusion —
+        just removal from the fleet and, if it dropped us below the
+        initial assembly size, a loud degradation note."""
+        with self._state:
+            if not worker.alive:
+                return
+            worker.alive = False
+            self._workers.pop(worker.worker_id, None)
+            self.graceful_departures += 1
+            # A drained worker holds no lease; if one slipped through
+            # (goodbye raced a lease grant), re-queue it like a death.
+            for task_id in [t for t, s in self._leased.items()
+                            if s.lease_worker == worker.worker_id]:
+                task = self._leased.pop(task_id)
+                self._requeue(task, worker.worker_id,
+                              reason=f"worker {worker.worker_id} left "
+                                     f"mid-lease")
+            self._state.notify_all()
+        logger.info("worker %s left gracefully; fleet=%d",
+                    worker.worker_id, self.worker_count)
+        worker.kill_connection()
+        self._warn_if_degraded()
 
     def _requeue(self, task: _TaskState, worker_id: str,
                  reason: str) -> None:
@@ -537,13 +796,31 @@ class ClusterCoordinator:
                 return
             worker.alive = False
             self._workers.pop(worker.worker_id, None)
+            reclaimed = 0
             for task_id in [t for t, s in self._leased.items()
                             if s.lease_worker == worker.worker_id]:
                 task = self._leased.pop(task_id)
                 self._requeue(task, worker.worker_id,
                               reason=f"worker {worker.worker_id} died or "
                                      f"timed out")
+                reclaimed += 1
             self._state.notify_all()
+        if not self._closed:
+            logger.warning("worker %s died or timed out; %d lease(s) "
+                           "re-queued; fleet=%d", worker.worker_id,
+                           reclaimed, self.worker_count)
+            self._warn_if_degraded()
+
+    def _warn_if_degraded(self) -> None:
+        """Loud note when the live fleet is below the assembly size.  The
+        cluster keeps running — shrinkage is the failure model — but an
+        operator should know the month is grinding on fewer machines."""
+        live = self.worker_count
+        if self.workers_seen >= self.min_workers and live < self.min_workers:
+            logger.warning(
+                "cluster degraded: %d live worker(s), below the initial "
+                "assembly size min_workers=%d; continuing with re-dispatch "
+                "onto the survivors", live, self.min_workers)
 
     def _monitor_loop(self) -> None:
         """Sweep heartbeats and lease deadlines; killing the connection of
@@ -574,28 +851,39 @@ class ClusterCoordinator:
 def spawn_local_worker(address: Tuple[str, int], *,
                        heartbeat_interval: float = 2.0,
                        fault: Optional[str] = None,
+                       secret: Optional[str] = None,
                        python: Optional[str] = None,
-                       capture_output: bool = False) -> subprocess.Popen:
+                       capture_output: bool = False,
+                       extra_args: Sequence[str] = ()) -> subprocess.Popen:
     """Launch ``python -m repro.exec.worker --connect host:port`` locally.
 
     The child inherits the environment with this package's ``src`` root
     prepended to ``PYTHONPATH`` (the worker must import the very same code
-    the coordinator pickles tasks from).  ``fault`` forwards a
+    the coordinator frames tasks from) and, when ``secret`` is given, the
+    shared wire secret via ``REPRO_CLUSTER_SECRET`` (environment, not
+    argv, so it never shows in a process listing).  ``fault`` forwards a
     fault-injection flag (test harness only; see :mod:`repro.exec.worker`).
     """
     import repro
 
     host, port = address
+    # Locally spawned workers share the coordinator's fate, so a long
+    # reconnect schedule only delays teardown; external workers keep the
+    # CLI's larger default budget.
     command = [python or sys.executable, "-m", "repro.exec.worker",
                "--connect", f"{host}:{port}",
-               "--heartbeat-interval", str(heartbeat_interval)]
+               "--heartbeat-interval", str(heartbeat_interval),
+               "--reconnect-attempts", "2"]
     if fault:
         command += ["--fault", fault]
+    command += list(extra_args)
     env = dict(os.environ)
     src_root = os.path.dirname(os.path.dirname(
         os.path.abspath(repro.__file__)))
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing else "")
+    if secret is not None:
+        env[SECRET_ENV] = secret
     sink = subprocess.PIPE if capture_output else subprocess.DEVNULL
     return subprocess.Popen(command, env=env, stdout=sink, stderr=sink)
 
@@ -697,10 +985,13 @@ class ClusterBackend(InlineBackend):
     read :attr:`address` and point external workers at it before the
     first day is processed; ``config.spawn_workers`` optionally launches
     that many localhost worker subprocesses for single-host use (the CI
-    and example path).  Report times are measured wall clock, like every
-    inline backend; :attr:`redispatch_count` and the per-worker task
-    counts surface the failure-handling telemetry the fault tests and the
-    nightly benchmark assert on.
+    and example path).  The wire secret resolves from ``config.secret``
+    or the ``REPRO_CLUSTER_SECRET`` environment variable and is handed to
+    spawned workers through their environment.  Report times are measured
+    wall clock, like every inline backend; :attr:`redispatch_count`,
+    :attr:`reject_counts` and the per-worker task counts surface the
+    failure-handling telemetry the fault tests and the nightly benchmark
+    assert on.
     """
 
     name = "cluster"
@@ -709,17 +1000,22 @@ class ClusterBackend(InlineBackend):
         super().__init__(config)
         host, port = parse_address(config.listen or DEFAULT_LISTEN)
         min_workers = max(1, config.spawn_workers)
+        secret = config.secret if config.secret is not None \
+            else os.environ.get(SECRET_ENV)
         self.coordinator = ClusterCoordinator(
             host, port,
             task_deadline_s=config.task_deadline_s,
             heartbeat_timeout_s=config.heartbeat_timeout_s,
             max_task_retries=config.max_task_retries,
-            min_workers=min_workers)
+            min_workers=min_workers,
+            secret=secret,
+            affinity=config.affinity)
         self.coordinator.start()
         self._procs: List[subprocess.Popen] = [
             spawn_local_worker(
                 self.coordinator.address,
-                heartbeat_interval=config.heartbeat_timeout_s / 4.0)
+                heartbeat_interval=config.heartbeat_timeout_s / 4.0,
+                secret=secret)
             for _ in range(config.spawn_workers)]
         self._partition_executor = ClusterPartitionExecutor(self.coordinator)
         self._pair_executor = ClusterPairExecutor(self.coordinator,
@@ -744,6 +1040,11 @@ class ClusterBackend(InlineBackend):
     def remote_task_count(self) -> int:
         """Results accepted from remote workers (engagement telemetry)."""
         return self.coordinator.remote_results
+
+    @property
+    def reject_counts(self) -> Dict[str, int]:
+        """Typed wire rejections (auth/replay/forbidden), pre-decode."""
+        return dict(self.coordinator.reject_counts)
 
     def pair_executor(self):
         return self._pair_executor

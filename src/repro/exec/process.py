@@ -77,7 +77,8 @@ def decide_chunk(points: Sequence[TokenString],
                  profiles: Dict[int, PointProfile],
                  indexed_chunk: Tuple[int, Sequence[Tuple[int, int]]],
                  epsilon: float, config: DistanceEngineConfig,
-                 seed: int) -> Tuple[List[PairDecision], Dict[str, int]]:
+                 seed: int, *, cache: Any = None
+                 ) -> Tuple[List[PairDecision], Dict[str, int]]:
     """Decide one indexed chunk of candidate pairs against explicit state.
 
     Shared by the pool worker (whose state lives in the ``_WORKER_*``
@@ -85,6 +86,12 @@ def decide_chunk(points: Sequence[TokenString],
     is local to one ``decide_chunks`` call).  Returns the per-pair decisions
     plus the chunk's stats; exact distances flow back so the caller can seed
     its cache, and the stats merge into the caller's accounting.
+
+    ``cache`` optionally supplies an exact
+    :class:`~repro.distance.engine.PairDistanceCache` (cluster workers pass
+    their persistent warm store).  Pool workers run cache-less; either way
+    the verdicts are identical — the cache stores exact distances, so a hit
+    only skips recomputation.
     """
     chunk_index, chunk = indexed_chunk
     random.seed(chunk_seed(seed, chunk_index))
@@ -95,7 +102,7 @@ def decide_chunk(points: Sequence[TokenString],
         profile_b = _profile_for(points, profiles, j, config)
         threshold = int(epsilon * max(profile_a.length, profile_b.length))
         verdict, distance = decide_profiles(profile_a, profile_b, threshold,
-                                            config, None, stats)
+                                            config, cache, stats)
         out.append((i, j, verdict, distance))
     # The triage loop in the parent already counted these pairs.
     stats.pairs = 0

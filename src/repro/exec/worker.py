@@ -1,21 +1,45 @@
 """Standalone cluster worker: ``python -m repro.exec.worker --connect ...``.
 
-One worker process serves one coordinator connection.  The loop is a pull
+One worker process serves one coordinator at a time.  The loop is a pull
 model: the worker requests a task, executes it, sends the result, repeats;
 a side thread heartbeats over the same socket (sends are serialized by a
-lock) so liveness is visible even while a long task computes.  The worker
-exits when the coordinator says ``shutdown`` or the connection drops —
-a worker never outlives its coordinator on the happy path.
+lock) so liveness is visible even while a long task computes.  Every frame
+either way is HMAC-authenticated and sequence-numbered by the shared
+:class:`~repro.exec.wire.FrameCodec` under the secret from
+``--cluster-secret`` / ``REPRO_CLUSTER_SECRET`` — a worker with the wrong
+secret never gets past ``hello``.
+
+Membership is elastic:
+
+* **Join any time.**  A worker started mid-month registers and starts
+  pulling leases immediately.
+* **Leave gracefully.**  SIGTERM sets a drain flag: the in-flight task
+  finishes, its result is delivered, the worker sends ``goodbye`` and
+  exits 0.  The coordinator treats this as departure, not death — no
+  re-dispatch, no exclusion-list entry.
+* **Reconnect with bounded backoff.**  A dropped connection (coordinator
+  restart, network blip) is retried on a jittered exponential schedule
+  (:class:`ReconnectPolicy`) until the attempt budget runs out; an
+  explicit ``shutdown`` from the coordinator ends the worker for good.
+
+Warmth: the worker keeps a persistent :class:`WorkerCaches` — a
+tokenization :class:`~repro.core.prepared.PreparedCache` plus an exact
+pair-distance cache — keyed by the coordinator-issued cache epoch.  A
+repeat partition leased back to this worker ships *slim* (tokens
+stripped); the prepared cache re-derives them, byte-identically, without
+the coordinator re-shipping the same strings every day.
 
 Task kinds mirror the coordinator's leases:
 
 * ``partition_map`` — a :class:`~repro.clustering.partition.PartitionMapTask`;
-  execution is exactly ``task.run()``, the same code path the inline and
-  process-pool substrates use, which is what makes cluster execution
-  byte-identical by construction.
+  execution is ``task.run()`` fed with this worker's warm engine and
+  prepared cache — the same decision code path the inline and process
+  substrates use, which is what keeps cluster execution byte-identical
+  by construction.
 * ``pair_chunks`` — a :class:`~repro.exec.cluster.PairChunkLease` of
   distance-pair chunks, decided through the shared
-  :func:`~repro.exec.process.decide_chunk`.
+  :func:`~repro.exec.process.decide_chunk` with the persistent distance
+  cache underneath.
 
 A task that raises is reported back as ``failed`` (the coordinator
 re-dispatches it elsewhere); the worker itself stays up.
@@ -29,11 +53,24 @@ suite can exercise the coordinator's failure handling deterministically:
   task arrives (a machine lost mid-map: no goodbye, no flush);
 * ``drop-mid-frame`` — compute the first result, send only half of its
   frame, then sever the connection (a torn write: the coordinator must
-  treat the truncated frame as a dead worker, never unpickle it);
+  treat the truncated frame as a dead worker, never decode it);
 * ``stall-heartbeat`` — accept the first task, then stop heartbeating and
   never answer (a wedged process: only the heartbeat/deadline sweep can
-  reclaim the lease).
+  reclaim the lease);
+* ``bad-hmac`` — on the first task, send a frame whose authentication tag
+  is tampered (the coordinator must reject it with ``AuthError`` before
+  any payload decode and drop us);
+* ``replayed-frame`` — send a valid frame, then replay the identical
+  bytes (same sequence number twice: ``ReplayError`` before decode);
+* ``rogue-pickle`` — send a perfectly framed, correctly authenticated
+  payload whose pickle names a forbidden callable (``os.system``); the
+  allow-listed decoder must reject it with ``ForbiddenPayload`` without
+  ever constructing the object;
+* ``drain-mid-task`` — deliver SIGTERM to ourselves the moment the first
+  task arrives, proving a drain returns the in-flight result exactly
+  once and departs without re-dispatch.
 
+Fault-armed workers never reconnect (each fault is a one-shot scenario).
 These flags exist for the test suite; production deployments simply never
 pass ``--fault``.
 """
@@ -42,59 +79,184 @@ from __future__ import annotations
 
 import argparse
 import os
+import pickle
+import random
 import signal
 import socket
 import sys
 import threading
 import time
+from dataclasses import replace
 from typing import Any, Optional, Tuple
 
 from repro.exec import wire
-from repro.exec.cluster import PairChunkLease, parse_address, run_pair_lease
+from repro.exec.cluster import (PairChunkLease, SECRET_ENV, parse_address,
+                                run_pair_lease)
 
-FAULTS = ("sigkill-mid-task", "drop-mid-frame", "stall-heartbeat")
+FAULTS = ("sigkill-mid-task", "drop-mid-frame", "stall-heartbeat",
+          "bad-hmac", "replayed-frame", "rogue-pickle", "drain-mid-task")
 
 
-def execute_task(kind: str, payload: Any) -> Any:
-    """Run one leased task; shared by the worker loop and its tests."""
+class ReconnectPolicy:
+    """Bounded exponential backoff with jitter for re-dialing a coordinator.
+
+    ``delay(attempt)`` is pure given the policy's RNG: attempt ``n`` waits
+    ``min(cap_s, base_s * 2**n)`` scaled by a uniform jitter in
+    ``[0.5, 1.0)`` — bounded above by ``cap_s`` always, and never zero, so
+    a fleet of workers losing the same coordinator does not reconnect in
+    lockstep.  The schedule is unit-testable without sleeping: it returns
+    numbers, the caller decides how to wait on them.
+    """
+
+    def __init__(self, base_s: float = 0.5, cap_s: float = 30.0,
+                 max_attempts: int = 6,
+                 rng: Optional[random.Random] = None) -> None:
+        if base_s <= 0 or cap_s < base_s:
+            raise ValueError("need 0 < base_s <= cap_s")
+        if max_attempts < 0:
+            raise ValueError("max_attempts must be non-negative")
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.max_attempts = max_attempts
+        self.rng = rng if rng is not None else random.Random()
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before reconnect attempt ``attempt`` (0-based)."""
+        bounded = min(self.cap_s, self.base_s * (2.0 ** attempt))
+        return bounded * (0.5 + 0.5 * self.rng.random())
+
+
+class WorkerCaches:
+    """The worker's persistent warm state, keyed by coordinator epoch.
+
+    * ``prepared`` — memoized tokenization/normalization per content
+      string, so a slim (token-stripped) repeat lease re-derives tokens
+      from cache instead of the lexer, and the coordinator stops shipping
+      them at all.
+    * ``distances`` — exact pair-distance results; hits skip the Myers
+      kernel on warm days.  Leased engines wrap it in a
+      :class:`~repro.distance.engine.DeltaCache` so each task still
+      exports only *its own* new entries to the coordinator.
+
+    Both caches survive across tasks and days but never across epochs:
+    the coordinator issues its epoch in the welcome and on every lease,
+    and :meth:`ensure_epoch` wipes everything on a change (e.g. after a
+    coordinator restart or configuration change).  Correctness never
+    depends on the caches — they are exact and content-addressed — so a
+    wipe only costs warmth.
+    """
+
+    def __init__(self, prepared_size: int = 65536,
+                 distance_size: int = 262144) -> None:
+        from repro.core.prepared import PreparedCache
+        from repro.distance.engine import PairDistanceCache
+
+        self.prepared = PreparedCache(max_entries=prepared_size)
+        self.distances = PairDistanceCache(maxsize=distance_size)
+        self.epoch: Optional[int] = None
+        self.wipes = 0
+
+    def ensure_epoch(self, epoch: Optional[int]) -> None:
+        if epoch is None or epoch == self.epoch:
+            return
+        if self.epoch is not None:
+            self.prepared.clear()
+            self.distances.clear()
+            self.wipes += 1
+        self.epoch = epoch
+
+
+def execute_task(kind: str, payload: Any,
+                 caches: Optional[WorkerCaches] = None) -> Any:
+    """Run one leased task; shared by the worker loop and its tests.
+
+    With ``caches``, partition maps run against a warm engine (persistent
+    distance cache behind a delta view, prepared cache for tokenization)
+    and pair leases read through the persistent distance cache.  Results
+    are byte-identical with or without caches — they are exact and
+    content-addressed — warm just skips recomputation and re-shipping.
+    """
     if kind == "partition_map":
-        return payload.run()
+        if caches is None:
+            return payload.run()
+        return _run_partition_warm(payload, caches)
     if kind == "pair_chunks":
         if not isinstance(payload, PairChunkLease):
             raise TypeError(f"pair_chunks payload must be a PairChunkLease, "
                             f"got {type(payload).__name__}")
-        return run_pair_lease(payload)
+        return run_pair_lease(
+            payload, cache=caches.distances if caches is not None else None)
     raise ValueError(f"unknown task kind {kind!r}")
 
 
+def _run_partition_warm(task: Any, caches: WorkerCaches) -> Any:
+    """Execute a ``PartitionMapTask`` against this worker's warm caches.
+
+    The engine gets a :class:`DeltaCache` view over the persistent
+    distance cache (so ``export_cache`` ships only this task's new
+    entries, not the whole warm store) and the task gets the prepared
+    cache to re-derive any stripped tokens.  Prepared-cache hit/miss
+    deltas ride home in the result's stats, joining the engine's existing
+    per-worker attribution.
+    """
+    from repro.distance.engine import DeltaCache, DistanceEngine
+
+    before = caches.prepared.stats()
+    config = replace(task.engine_config, workers=1, shared_cache=False)
+    engine = DistanceEngine(config, cache=DeltaCache(caches.distances))
+    result = task.run(engine=engine, prepared=caches.prepared)
+    after = caches.prepared.stats()
+    if isinstance(result.stats, dict):
+        result.stats["prepared_hits"] = (after["tokens_hits"]
+                                         - before["tokens_hits"])
+        result.stats["prepared_misses"] = (after["tokens_misses"]
+                                           - before["tokens_misses"])
+    return result
+
+
 class Worker:
-    """One coordinator connection's worth of worker state."""
+    """A worker process's state across its (possibly several) connections."""
 
     def __init__(self, address: Tuple[str, int], *,
                  heartbeat_interval: float = 2.0,
-                 fault: Optional[str] = None) -> None:
+                 fault: Optional[str] = None,
+                 secret: Optional[str] = None,
+                 reconnect: Optional[ReconnectPolicy] = None,
+                 warm: bool = True) -> None:
         if fault is not None and fault not in FAULTS:
             raise ValueError(f"unknown fault {fault!r}")
         self.address = address
         self.heartbeat_interval = heartbeat_interval
         self.fault = fault
+        self.secret = secret
+        self.reconnect = reconnect if reconnect is not None \
+            else ReconnectPolicy()
+        self.caches: Optional[WorkerCaches] = WorkerCaches() if warm else None
         self.worker_id: Optional[str] = None
         self.tasks_done = 0
         self._sock: Optional[socket.socket] = None
+        self._codec: Optional[wire.FrameCodec] = None
         self._send_lock = threading.Lock()
         self._stop_heartbeat = threading.Event()
+        self._draining = threading.Event()
+        self._welcomed = False
 
     # -- plumbing -------------------------------------------------------
     def _send(self, payload: Any) -> None:
         with self._send_lock:
-            wire.send_frame(self._sock, payload)
+            self._codec.send(self._sock, payload)
 
-    def _heartbeat_loop(self) -> None:
-        while not self._stop_heartbeat.wait(self.heartbeat_interval):
+    def _heartbeat_loop(self, stop: threading.Event, sock: socket.socket,
+                        codec: wire.FrameCodec) -> None:
+        while not stop.wait(self.heartbeat_interval):
             try:
-                self._send(("heartbeat", {}))
+                with self._send_lock:
+                    codec.send(sock, ("heartbeat", {}))
             except (OSError, wire.WireError):
                 return
+
+    def _on_sigterm(self, signum, frame) -> None:  # pragma: no cover - signal
+        self._draining.set()
 
     # -- faults ---------------------------------------------------------
     def _inject_on_task(self, task_id: int) -> None:
@@ -108,11 +270,50 @@ class Worker:
             # process afterwards.
             time.sleep(3600.0)
             sys.exit(1)
+        if self.fault == "drain-mid-task":
+            # A graceful departure caught mid-lease: the SIGTERM handler
+            # sets the drain flag, this task still runs to completion and
+            # its result is delivered, then the loop says goodbye.
+            self.fault = None
+            os.kill(os.getpid(), signal.SIGTERM)
+            return
+        if self.fault == "bad-hmac":
+            with self._send_lock:
+                tampered = bytearray(self._codec.encode(("heartbeat", {})))
+                tampered[-1] ^= 0xFF  # flip a bit inside the HMAC tag
+                self._sock.sendall(bytes(tampered))
+            self._await_teardown()
+        if self.fault == "replayed-frame":
+            with self._send_lock:
+                frame = self._codec.encode(("heartbeat", {}))
+                self._sock.sendall(frame)
+                self._sock.sendall(frame)  # identical bytes, same sequence
+            self._await_teardown()
+        if self.fault == "rogue-pickle":
+            # Correctly framed, correctly authenticated, fresh sequence —
+            # but the payload pickle names a callable outside the
+            # allow-list.  Only the restricted decoder stands between
+            # this and code execution on the coordinator.
+            hostile = pickle.dumps(os.system, protocol=4)
+            with self._send_lock:
+                self._sock.sendall(self._codec.encode_raw(hostile))
+            self._await_teardown()
+
+    def _await_teardown(self) -> None:
+        """Wait for the coordinator to drop us, then exit nonzero."""
+        self._stop_heartbeat.set()
+        try:
+            self._sock.settimeout(30.0)
+            while self._sock.recv(4096):
+                pass
+        except OSError:
+            pass
+        sys.exit(1)
 
     def _send_truncated_result(self, task_id: int, result: Any) -> None:
-        frame = wire.encode_frame(("result", {"task_id": task_id,
-                                              "payload": result}))
         with self._send_lock:
+            frame = self._codec.encode(("result", {"task_id": task_id,
+                                                   "payload": result}))
             self._sock.sendall(frame[:max(1, len(frame) // 2)])
             try:
                 self._sock.shutdown(socket.SHUT_RDWR)
@@ -123,37 +324,81 @@ class Worker:
 
     # -- the loop -------------------------------------------------------
     def run(self) -> int:
-        """Serve the coordinator until shutdown; returns an exit code."""
+        """Serve the coordinator until shutdown, drain, or the reconnect
+        budget runs out; returns an exit code."""
+        if threading.current_thread() is threading.main_thread():
+            signal.signal(signal.SIGTERM, self._on_sigterm)
+        attempt = 0
+        while True:
+            self._welcomed = False
+            try:
+                outcome = self._serve_once()
+                if outcome is not None:
+                    return outcome
+            except (OSError, wire.WireError):
+                pass
+            # Connection lost without a verdict: maybe reconnect.
+            if self._draining.is_set():
+                return 0
+            if self.fault is not None:
+                return 1  # fault scenarios are one-shot: never rejoin
+            if self._welcomed:
+                attempt = 0  # we served successfully; restart the schedule
+            if attempt >= self.reconnect.max_attempts:
+                return 1
+            delay = self.reconnect.delay(attempt)
+            attempt += 1
+            if self._draining.wait(delay):
+                return 0
+
+    def _serve_once(self) -> Optional[int]:
+        """One connection's conversation.  Returns an exit code when the
+        worker should stop for good (shutdown, drain, protocol drift),
+        ``None`` or raises ``OSError``/``WireError`` when the connection
+        was lost and reconnecting is reasonable."""
         self._sock = socket.create_connection(self.address, timeout=30.0)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         # Individual reads block at most this long; the coordinator's idle
         # replies keep the stream active, so a long silence means it died.
         self._sock.settimeout(300.0)
+        self._codec = wire.FrameCodec(self.secret)
+        self._stop_heartbeat = threading.Event()
+        stop = self._stop_heartbeat
         try:
             self._send(("hello", {"version": wire.WIRE_VERSION,
                                   "pid": os.getpid()}))
-            kind, body = wire.recv_frame(self._sock)
+            kind, body = self._codec.recv(self._sock)
             if kind != "welcome":
                 return 1
             self.worker_id = body["worker_id"]
-            heartbeat = threading.Thread(target=self._heartbeat_loop,
-                                         name="worker-heartbeat",
-                                         daemon=True)
+            if self.caches is not None:
+                self.caches.ensure_epoch(body.get("epoch"))
+            self._welcomed = True
+            heartbeat = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(stop, self._sock, self._codec),
+                name="worker-heartbeat", daemon=True)
             heartbeat.start()
             while True:
+                if self._draining.is_set():
+                    self._send(("goodbye", {}))
+                    return 0
                 self._send(("request", {}))
-                kind, body = wire.recv_frame(self._sock)
+                kind, body = self._codec.recv(self._sock)
                 if kind == "shutdown":
                     return 0
                 if kind == "idle":
-                    time.sleep(0.05)
+                    self._draining.wait(0.05)
                     continue
                 if kind != "task":
                     return 1
                 task_id = body["task_id"]
+                if self.caches is not None:
+                    self.caches.ensure_epoch(body.get("epoch"))
                 self._inject_on_task(task_id)
                 try:
-                    result = execute_task(body["kind"], body["payload"])
+                    result = execute_task(body["kind"], body["payload"],
+                                          self.caches)
                 except Exception as exc:
                     self._send(("failed", {"task_id": task_id,
                                            "error": f"{type(exc).__name__}: "
@@ -174,11 +419,8 @@ class Worker:
                         "error": f"result cannot be framed: {exc}"}))
                     continue
                 self.tasks_done += 1
-        except (OSError, wire.WireError):
-            # Coordinator gone (or tore us down): exit quietly.
-            return 0
         finally:
-            self._stop_heartbeat.set()
+            stop.set()
             try:
                 self._sock.close()
             except OSError:
@@ -195,6 +437,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--heartbeat-interval", type=float, default=2.0,
                         help="seconds between heartbeat frames (keep well "
                              "under the coordinator's heartbeat timeout)")
+    parser.add_argument("--cluster-secret", default=None,
+                        help="shared wire secret (defaults to the "
+                             f"{SECRET_ENV} environment variable; must "
+                             "match the coordinator's)")
+    parser.add_argument("--reconnect-attempts", type=int, default=6,
+                        help="reconnect budget after a lost connection "
+                             "(0 disables reconnecting)")
     parser.add_argument("--fault", choices=FAULTS, default=None,
                         help="arm one fault-injection behaviour "
                              "(test harness only)")
@@ -203,9 +452,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    secret = args.cluster_secret if args.cluster_secret is not None \
+        else os.environ.get(SECRET_ENV)
     worker = Worker(parse_address(args.connect),
                     heartbeat_interval=args.heartbeat_interval,
-                    fault=args.fault)
+                    fault=args.fault,
+                    secret=secret,
+                    reconnect=ReconnectPolicy(
+                        max_attempts=args.reconnect_attempts))
     return worker.run()
 
 

@@ -90,13 +90,16 @@ class TestBackendConfig:
     def test_resolved_preserves_cluster_fields(self):
         config = BackendConfig(kind="cluster", listen="0.0.0.0:7777",
                                spawn_workers=3, task_deadline_s=5.0,
-                               heartbeat_timeout_s=2.0, max_task_retries=1)
+                               heartbeat_timeout_s=2.0, max_task_retries=1,
+                               secret="hunter2", affinity=False)
         resolved = config.resolved(machines=50, workers=4, seed=7)
         assert resolved.listen == "0.0.0.0:7777"
         assert resolved.spawn_workers == 3
         assert resolved.task_deadline_s == 5.0
         assert resolved.heartbeat_timeout_s == 2.0
         assert resolved.max_task_retries == 1
+        assert resolved.secret == "hunter2"
+        assert resolved.affinity is False
 
     def test_serial_backend_forces_single_worker_engine(self):
         backend = create_backend(BackendConfig(kind="serial"))
@@ -389,6 +392,11 @@ def _run_stream(backend_kind, incremental, days=3, distance=None,
                 kizzle.clusterer.engine.remote_worker_stats.items()}
     finally:
         kizzle.close()
+    if backend_kind == "cluster":
+        # Clean shutdown is part of the contract: close() must join every
+        # coordinator service/handler thread, not abandon them.
+        assert kizzle.backend.coordinator.leaked_threads() == [], \
+            "cluster coordinator close() leaked service threads"
     return day_labels, day_fpfn, signatures
 
 

@@ -3,10 +3,13 @@
 Extends the damaged-input philosophy of ``tests/test_failure_injection.py``
 to the execution substrate itself: real localhost worker *subprocesses* are
 killed mid-partition-map (SIGKILL), have their sockets severed mid-frame,
-and stall their heartbeats past the deadline — and in every case the day's
-cluster labels, signatures and FP/FN must come out byte-identical to the
-serial backend, with the re-dispatch path demonstrably exercised
-(``cluster_redispatch_count >= 1``).
+stall their heartbeats past the deadline — or turn actively hostile,
+sending tampered-HMAC frames, replayed frames, and forbidden pickles — and
+in every case the day's cluster labels, signatures and FP/FN must come out
+byte-identical to the serial backend, with the re-dispatch path
+demonstrably exercised (``cluster_redispatch_count >= 1``) and hostile
+frames rejected with their typed error *before* any payload decode
+(``reject_counts``).
 
 Determinism of the recovery rests on two properties asserted throughout:
 task identity (not worker identity) carries every RNG seed, and the
@@ -17,7 +20,9 @@ torn-down lease are dropped).
 from __future__ import annotations
 
 import datetime
+import os
 import time
+from types import SimpleNamespace
 
 import pytest
 
@@ -26,7 +31,14 @@ from repro.core.pipeline import Kizzle
 from repro.ekgen import StreamConfig, TelemetryGenerator
 from repro.exec.backend import BackendConfig
 from repro.exec.cluster import ClusterCoordinator, ClusterError, \
-    spawn_local_worker
+    SECRET_ENV, spawn_local_worker
+
+#: The shared wire secret this test run operates under.  CI exports
+#: ``REPRO_CLUSTER_SECRET`` so the whole matrix runs authenticated
+#: end-to-end; locally it is usually unset (public default key).  Spawned
+#: workers inherit the environment either way, so direct-coordinator
+#: tests must register under the same secret.
+TEST_SECRET = os.environ.get(SECRET_ENV)
 
 D = datetime.date
 KITS = ("nuclear", "angler", "rig", "sweetorange")
@@ -118,15 +130,19 @@ def _run_cluster_with_fault(fault, days=2, incremental=False):
         labels, fpfn = _run_days(kizzle, generator, days)
         signatures = [(s.kit, s.created, s.pattern)
                       for s in kizzle.database]
-        redispatched = backend.redispatch_count
-        remote = backend.remote_task_count
+        outcome = SimpleNamespace(
+            labels=labels, fpfn=fpfn, signatures=signatures,
+            redispatched=backend.redispatch_count,
+            remote=backend.remote_task_count,
+            rejects=backend.reject_counts,
+            departures=backend.coordinator.graceful_departures)
     finally:
         kizzle.close()
         for proc in procs:
             if proc.poll() is None:
                 proc.kill()
             proc.wait(timeout=10.0)
-    return labels, fpfn, signatures, redispatched, remote
+    return outcome
 
 
 class TestWorkerLossMidMap:
@@ -136,28 +152,64 @@ class TestWorkerLossMidMap:
                                        "stall-heartbeat"])
     def test_byte_identical_to_serial_with_redispatch(self, fault,
                                                       serial_reference):
-        labels, fpfn, signatures, redispatched, remote = \
-            _run_cluster_with_fault(fault)
-        assert labels == serial_reference[0], \
+        run = _run_cluster_with_fault(fault)
+        assert run.labels == serial_reference[0], \
             f"{fault}: cluster labels diverged after worker loss"
-        assert fpfn == serial_reference[1], f"{fault}: FP/FN diverged"
-        assert signatures == serial_reference[2], \
+        assert run.fpfn == serial_reference[1], f"{fault}: FP/FN diverged"
+        assert run.signatures == serial_reference[2], \
             f"{fault}: signatures diverged"
-        assert redispatched >= 1, \
+        assert run.redispatched >= 1, \
             f"{fault}: the faulty worker never held a task - the " \
             f"re-dispatch path was not exercised"
-        assert remote >= 1, f"{fault}: no task executed remotely"
+        assert run.remote >= 1, f"{fault}: no task executed remotely"
 
     @pytest.mark.slow
     def test_warm_path_survives_sigkill(self):
         """The incremental pipeline (shed/carry-forward state across days)
         must also come through a mid-map worker loss byte-identical."""
         reference = _reference(incremental=True, days=2)
-        labels, fpfn, signatures, redispatched, _remote = \
-            _run_cluster_with_fault("sigkill-mid-task", days=2,
-                                    incremental=True)
-        assert (labels, fpfn, signatures) == reference
-        assert redispatched >= 1
+        run = _run_cluster_with_fault("sigkill-mid-task", days=2,
+                                      incremental=True)
+        assert (run.labels, run.fpfn, run.signatures) == reference
+        assert run.redispatched >= 1
+
+
+class TestHostilePeerMidMap:
+    """One worker of two turns hostile mid-map: tampered HMAC, replayed
+    frame, or a forbidden pickle.  Each must be rejected with its typed
+    error *before* payload decode, the peer dropped, its lease
+    re-dispatched, and the month byte-identical to serial."""
+
+    @pytest.mark.parametrize("fault,reject", [
+        ("bad-hmac", "auth"),
+        ("replayed-frame", "replay"),
+        ("rogue-pickle", "forbidden"),
+    ])
+    def test_byte_identical_with_typed_reject(self, fault, reject,
+                                              serial_reference):
+        run = _run_cluster_with_fault(fault)
+        assert run.labels == serial_reference[0], \
+            f"{fault}: cluster labels diverged after the hostile peer"
+        assert run.fpfn == serial_reference[1], f"{fault}: FP/FN diverged"
+        assert run.signatures == serial_reference[2], \
+            f"{fault}: signatures diverged"
+        assert run.rejects[reject] >= 1, \
+            f"{fault}: the hostile frame was not rejected as {reject!r}"
+        assert run.redispatched >= 1, \
+            f"{fault}: the hostile worker's lease was never re-dispatched"
+        assert run.remote >= 1, f"{fault}: no task executed remotely"
+
+    def test_graceful_drain_mid_map_returns_result_exactly_once(
+            self, serial_reference):
+        """SIGTERM mid-lease: the worker finishes the task, its result is
+        accepted exactly once, it says goodbye, and nothing re-dispatches."""
+        run = _run_cluster_with_fault("drain-mid-task")
+        assert run.labels == serial_reference[0], \
+            "drain: cluster labels diverged after the graceful departure"
+        assert run.fpfn == serial_reference[1]
+        assert run.signatures == serial_reference[2]
+        assert run.departures >= 1, "the worker never said goodbye"
+        assert run.remote >= 1
 
 
 class TestCoordinatorFailureHandling:
@@ -165,7 +217,8 @@ class TestCoordinatorFailureHandling:
 
     def _coordinator(self, **overrides):
         settings = dict(task_deadline_s=10.0, heartbeat_timeout_s=1.0,
-                        max_task_retries=2, min_workers=1, worker_wait_s=10.0)
+                        max_task_retries=2, min_workers=1, worker_wait_s=10.0,
+                        secret=TEST_SECRET)
         settings.update(overrides)
         coordinator = ClusterCoordinator("127.0.0.1", 0, **settings)
         coordinator.start()
@@ -216,13 +269,13 @@ class TestCoordinatorFailureHandling:
         from repro.distance.engine import DistanceEngineConfig
         from repro.exec import wire
 
-        real_send = wire.send_frame
+        real_send = wire.FrameCodec.send
 
-        def refusing_send(sock, payload, **kwargs):
+        def refusing_send(self, sock, payload):
             if isinstance(payload, tuple) and payload \
                     and payload[0] == "task":
                 raise wire.FrameTooLarge("injected: payload over the bound")
-            return real_send(sock, payload, **kwargs)
+            return real_send(self, sock, payload)
 
         coordinator = self._coordinator()
         proc = spawn_local_worker(coordinator.address,
@@ -232,10 +285,10 @@ class TestCoordinatorFailureHandling:
                                 engine_config=DistanceEngineConfig())
         try:
             coordinator.wait_for_workers(1, timeout=15.0)
-            monkeypatch.setattr(wire, "send_frame", refusing_send)
+            monkeypatch.setattr(wire.FrameCodec, "send", refusing_send)
             with pytest.raises(ClusterError, match="framed"):
                 coordinator.submit("partition_map", [task], timeout=20.0)
-            monkeypatch.setattr(wire, "send_frame", real_send)
+            monkeypatch.setattr(wire.FrameCodec, "send", real_send)
             # The healthy worker was never torn down over the local
             # encode failure.
             assert coordinator.worker_count == 1
@@ -257,18 +310,19 @@ class TestCoordinatorFailureHandling:
         try:
             sock = socket_module.create_connection(coordinator.address,
                                                    timeout=5.0)
-            wire.send_frame(sock, ("hello", {"version": wire.WIRE_VERSION,
-                                             "pid": 0}))
-            kind, body = wire.recv_frame(sock)
+            codec = wire.FrameCodec(TEST_SECRET)
+            codec.send(sock, ("hello", {"version": wire.WIRE_VERSION,
+                                        "pid": 0}))
+            kind, body = codec.recv(sock)
             assert kind == "welcome"
             # A result for a task this worker never leased: dropped.
-            wire.send_frame(sock, ("result", {"task_id": 12345,
-                                              "payload": "stale"}))
+            codec.send(sock, ("result", {"task_id": 12345,
+                                         "payload": "stale"}))
             # The connection survives the stale result: a task request is
             # still answered (idle — nothing is queued).
-            wire.send_frame(sock, ("request", {}))
+            codec.send(sock, ("request", {}))
             sock.settimeout(5.0)
-            assert wire.recv_frame(sock) == ("idle", {})
+            assert codec.recv(sock) == ("idle", {})
             assert coordinator.remote_results == 0
             sock.close()
         finally:

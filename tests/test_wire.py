@@ -131,7 +131,7 @@ class TestMalformedFrames:
 
     def test_oversized_declaration_raises_frame_too_large(self):
         frame = wire.encode_frame(list(range(1000)))
-        payload_size = len(frame) - wire.HEADER.size
+        payload_size = len(frame) - wire.HEADER.size - wire.TAG_SIZE
         with pytest.raises(wire.FrameTooLarge):
             wire.decode_frame(frame, max_bytes=payload_size - 1)
 
@@ -141,8 +141,10 @@ class TestMalformedFrames:
 
     def test_garbage_payload_raises_payload_error(self):
         body = b"\x93 definitely not a pickle \x00"
-        frame = wire.HEADER.pack(wire.MAGIC, wire.WIRE_VERSION,
-                                 len(body)) + body
+        header = wire.HEADER.pack(wire.MAGIC, wire.WIRE_VERSION, 1,
+                                  len(body))
+        frame = header + body + wire._tag(wire.UNAUTHENTICATED_KEY,
+                                          header, body)
         with pytest.raises(wire.PayloadError):
             wire.decode_frame(frame)
 
@@ -166,7 +168,7 @@ class TestMalformedFrames:
                         ("payload was unpickled despite a bad header",))
 
         body = pickle.dumps(Bomb())
-        frame = bytearray(wire.HEADER.pack(wire.MAGIC, wire.WIRE_VERSION,
+        frame = bytearray(wire.HEADER.pack(wire.MAGIC, wire.WIRE_VERSION, 1,
                                            len(body)) + body)
         struct.pack_into(">H", frame, 4, wire.WIRE_VERSION + 7)
         with pytest.raises(wire.VersionMismatch):
@@ -213,7 +215,7 @@ class TestStreamTransport:
         payload bytes that may never arrive."""
         left, right = socket.socketpair()
         try:
-            left.sendall(wire.HEADER.pack(wire.MAGIC, wire.WIRE_VERSION,
+            left.sendall(wire.HEADER.pack(wire.MAGIC, wire.WIRE_VERSION, 1,
                                           2**31))
             # Deliberately send no payload: a reader that tried to consume
             # the declared bytes would block until the timeout below.
@@ -236,3 +238,179 @@ class TestStreamTransport:
         frame = wire.encode_frame({"a": 1})
         with pytest.raises(wire.FrameTruncated):
             wire.read_frame(io.BytesIO(frame[:-3]))
+
+
+# ----------------------------------------------------------------------
+# authentication: tampered or wrong-secret frames never reach decode
+# ----------------------------------------------------------------------
+class _DecodeBomb:
+    """Pickles fine; explodes the test if the payload is ever decoded."""
+
+    def __reduce__(self):
+        return (pytest.fail,
+                ("payload was decoded despite failing a pre-decode check",))
+
+
+class TestAuthentication:
+    def test_round_trip_under_a_secret(self):
+        key = wire.derive_key("hunter2")
+        frame = wire.encode_frame({"x": 1}, key=key)
+        assert wire.decode_frame(frame, key=key) == {"x": 1}
+
+    def test_wrong_secret_raises_auth_error(self):
+        frame = wire.encode_frame({"x": 1}, key=wire.derive_key("right"))
+        with pytest.raises(wire.AuthError):
+            wire.decode_frame(frame, key=wire.derive_key("wrong"))
+
+    def test_missing_secret_raises_auth_error(self):
+        """An unauthenticated peer talking to a secret-bearing reader."""
+        frame = wire.encode_frame({"x": 1})  # public default key
+        with pytest.raises(wire.AuthError):
+            wire.decode_frame(frame, key=wire.derive_key("s3cret"))
+
+    @DEFAULT_SETTINGS
+    @given(st.data())
+    def test_any_flipped_bit_raises_auth_error(self, data):
+        """Flipping any single bit of body or tag must fail the tag check
+        (header flips may fail header validation first, also typed)."""
+        key = wire.derive_key("bits")
+        frame = bytearray(wire.encode_frame(("task", {"task_id": 1}),
+                                            key=key))
+        position = data.draw(st.integers(min_value=wire.HEADER.size,
+                                         max_value=len(frame) - 1))
+        frame[position] ^= 1 << data.draw(st.integers(min_value=0,
+                                                      max_value=7))
+        with pytest.raises(wire.AuthError):
+            wire.decode_frame(bytes(frame), key=key)
+
+    def test_tampered_frame_never_reaches_decode(self):
+        key = wire.derive_key("s")
+        frame = bytearray(wire.encode_frame_raw(pickle.dumps(_DecodeBomb()),
+                                                key=key))
+        frame[-1] ^= 0xFF
+        with pytest.raises(wire.AuthError):
+            wire.decode_frame(bytes(frame), key=key)
+
+    def test_unauthenticated_frame_never_reaches_decode(self):
+        """Even a *valid* pickle from a peer without the secret is never
+        deserialized — auth runs strictly before decode."""
+        frame = wire.encode_frame_raw(pickle.dumps(_DecodeBomb()))
+        with pytest.raises(wire.AuthError):
+            wire.decode_frame(frame, key=wire.derive_key("fleet-secret"))
+
+
+# ----------------------------------------------------------------------
+# freshness: replayed frames die after auth, before decode
+# ----------------------------------------------------------------------
+class TestReplayProtection:
+    def test_replayed_sequence_raises(self):
+        key = wire.derive_key("r")
+        frame = wire.encode_frame({"x": 1}, key=key, seq=5)
+        assert wire.decode_frame(frame, key=key, last_seq=4) == {"x": 1}
+        with pytest.raises(wire.ReplayError):
+            wire.decode_frame(frame, key=key, last_seq=5)
+
+    def test_stale_sequence_raises(self):
+        key = wire.derive_key("r")
+        frame = wire.encode_frame({"x": 1}, key=key, seq=3)
+        with pytest.raises(wire.ReplayError):
+            wire.decode_frame(frame, key=key, last_seq=7)
+
+    def test_replayed_frame_never_reaches_decode(self):
+        frame = wire.encode_frame_raw(pickle.dumps(_DecodeBomb()), seq=2)
+        with pytest.raises(wire.ReplayError):
+            wire.decode_frame(frame, last_seq=2)
+
+
+# ----------------------------------------------------------------------
+# allow-listed decode: a hostile pickle is structurally inert
+# ----------------------------------------------------------------------
+class TestForbiddenPayload:
+    def test_os_system_pickle_is_forbidden(self):
+        import os
+
+        frame = wire.encode_frame_raw(pickle.dumps(os.system, protocol=4))
+        with pytest.raises(wire.ForbiddenPayload):
+            wire.decode_frame(frame)
+
+    def test_reduce_to_forbidden_callable_is_rejected_before_call(self):
+        """A __reduce__ payload targeting subprocess never gets its callable
+        resolved, let alone invoked."""
+        class Evil:
+            def __reduce__(self):
+                import subprocess
+                return (subprocess.check_output, (["true"],))
+
+        frame = wire.encode_frame_raw(pickle.dumps(Evil(), protocol=4))
+        with pytest.raises(wire.ForbiddenPayload):
+            wire.decode_frame(frame)
+
+    def test_loads_payload_allows_task_types(self):
+        task = PartitionMapTask(index=0, samples=[], epsilon=0.1,
+                                min_points=3,
+                                engine_config=DistanceEngineConfig())
+        assert wire.loads_payload(wire.dumps_payload(task)) == task
+
+    def test_persistent_id_is_forbidden(self):
+        class Pickler(pickle.Pickler):
+            def persistent_id(self, obj):
+                if obj == "external":
+                    return "pid-0"
+                return None
+
+        buffer = io.BytesIO()
+        Pickler(buffer, protocol=4).dump(["external"])
+        with pytest.raises(wire.ForbiddenPayload):
+            wire.loads_payload(buffer.getvalue())
+
+
+# ----------------------------------------------------------------------
+# the per-connection codec
+# ----------------------------------------------------------------------
+class TestFrameCodec:
+    def test_socket_conversation_round_trips(self):
+        left, right = socket.socketpair()
+        sender = wire.FrameCodec("pair-secret")
+        receiver = wire.FrameCodec("pair-secret")
+        try:
+            for expected in (("hello", {"pid": 1}), ("request", {}),
+                             ("result", {"task_id": 0, "payload": None})):
+                sender.send(left, expected)
+                assert receiver.recv(right) == expected
+        finally:
+            left.close()
+            right.close()
+
+    def test_sequences_increase_per_send(self):
+        codec = wire.FrameCodec()
+        first = codec.encode({"n": 1})
+        second = codec.encode({"n": 2})
+        receiver = wire.FrameCodec()
+        assert receiver.decode(first) == {"n": 1}
+        assert receiver.decode(second) == {"n": 2}
+
+    def test_replayed_bytes_rejected_by_receiving_codec(self):
+        codec = wire.FrameCodec()
+        frame = codec.encode(("heartbeat", {}))
+        receiver = wire.FrameCodec()
+        assert receiver.decode(frame) == ("heartbeat", {})
+        with pytest.raises(wire.ReplayError):
+            receiver.decode(frame)
+
+    def test_send_returns_frame_byte_count(self):
+        left, right = socket.socketpair()
+        codec = wire.FrameCodec()
+        try:
+            sent = codec.send(left, ("idle", {}))
+            assert sent == len(wire.encode_frame(("idle", {}), seq=1))
+            assert wire.FrameCodec().recv(right) == ("idle", {})
+        finally:
+            left.close()
+            right.close()
+
+    def test_mismatched_secrets_cannot_talk(self):
+        codec = wire.FrameCodec("alpha")
+        eavesdropper = wire.FrameCodec("beta")
+        frame = codec.encode({"x": 1})
+        with pytest.raises(wire.AuthError):
+            eavesdropper.decode(frame)
